@@ -1,0 +1,353 @@
+// Package repro_test holds the benchmark harness that regenerates every
+// table and figure of the paper (one benchmark per artefact, DESIGN.md §4)
+// plus micro-benchmarks of the hot substrate paths. Benchmarks report the
+// simulated quantities (throughput, latency, efficiency) as custom metrics
+// so `go test -bench` output doubles as the reproduction record.
+package repro_test
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/experiments"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/pdr"
+)
+
+// benchEnv builds a fresh measurement environment, outside the timed loop.
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	env, err := experiments.NewEnv(42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+func mustCell(b *testing.B, rep *experiments.Report, row, col int) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(rep.Rows[row][col], 64)
+	if err != nil {
+		b.Fatalf("cell (%d,%d) = %q: %v", row, col, rep.Rows[row][col], err)
+	}
+	return v
+}
+
+// BenchmarkTableI_FrequencySweep regenerates Table I (E1): the nine-point
+// over-clocking sweep. Metrics: throughput at the nominal 100 MHz and at
+// the 280 MHz maximum.
+func BenchmarkTableI_FrequencySweep(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.TableI(benchEnv(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(mustCell(b, rep, 0, 2), "MB/s@100MHz")
+	b.ReportMetric(mustCell(b, rep, 5, 2), "MB/s@280MHz")
+}
+
+// BenchmarkFig5_Curve regenerates Fig. 5 (E2): the fine-grained
+// throughput-frequency curve with its 200 MHz knee.
+func BenchmarkFig5_Curve(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.Fig5(benchEnv(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(rep.Series[0].Points)), "points")
+}
+
+// BenchmarkTempStress_Matrix regenerates the Sec. IV-A heat-gun matrix
+// (E3): 7 frequencies × 7 temperatures, exactly one failing cell.
+func BenchmarkTempStress_Matrix(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.TempStress(benchEnv(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	fails := 0.0
+	for _, row := range rep.Rows {
+		for _, c := range row[1:] {
+			if c == "FAIL" {
+				fails++
+			}
+		}
+	}
+	b.ReportMetric(fails, "failing-cells")
+}
+
+// BenchmarkFig6_PowerGrid regenerates Fig. 6 (E4): P_PDR over the
+// frequency × temperature grid.
+func BenchmarkFig6_PowerGrid(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.Fig6(benchEnv(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(mustCell(b, rep, 0, 1), "W@100MHz/40C")
+	b.ReportMetric(mustCell(b, rep, 5, 4), "W@280MHz/100C")
+}
+
+// BenchmarkTableII_PowerEfficiency regenerates Table II (E5) and reports
+// the knee's performance-per-watt.
+func BenchmarkTableII_PowerEfficiency(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.TableII(benchEnv(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(mustCell(b, rep, 3, 3), "MB/J@200MHz")
+}
+
+// BenchmarkTableIII_RelatedWork regenerates the related-work comparison
+// (E6).
+func BenchmarkTableIII_RelatedWork(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.TableIII(benchEnv(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(mustCell(b, rep, 3, 3), "MB/s-thiswork")
+	b.ReportMetric(mustCell(b, rep, 2, 3), "MB/s-hkt2011")
+}
+
+// BenchmarkSecVI_SRAMPipeline regenerates the proposed-system measurement
+// (E7): raw and compressed streaming from the QDR SRAM.
+func BenchmarkSecVI_SRAMPipeline(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.SecVI(benchEnv(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(mustCell(b, rep, 0, 3), "MB/s-raw")
+	b.ReportMetric(mustCell(b, rep, 1, 3), "MB/s-compressed")
+}
+
+// BenchmarkAblation_CRCOverhead (A1): read-back interference on a
+// foreground load.
+func BenchmarkAblation_CRCOverhead(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.AblationCRC(benchEnv(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(mustCell(b, rep, 1, 1)-mustCell(b, rep, 0, 1), "us-interference")
+}
+
+// BenchmarkAblation_KneeDecomposition (A2): what the plateau is made of.
+func BenchmarkAblation_KneeDecomposition(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.AblationKnee(benchEnv(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(mustCell(b, rep, 0, 1), "MB/s-calibrated")
+	b.ReportMetric(mustCell(b, rep, 2, 1), "MB/s-2xport")
+}
+
+// BenchmarkAblation_RobustGuard (A3): the recovery episode's cost.
+func BenchmarkAblation_RobustGuard(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.AblationRobustGuard(benchEnv(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(mustCell(b, rep, 1, 2), "us-recovery")
+}
+
+// BenchmarkSingleLoad measures one partial reconfiguration end to end at
+// each Table I frequency (simulated latency as the metric, wall time as
+// the cost of simulating it).
+func BenchmarkSingleLoad(b *testing.B) {
+	for _, freq := range []float64{100, 200, 280} {
+		b.Run(strconv.Itoa(int(freq))+"MHz", func(b *testing.B) {
+			sys, err := pdr.NewSystem(pdr.WithSeed(42))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sys.SetFrequencyMHz(freq); err != nil {
+				b.Fatal(err)
+			}
+			var last pdr.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				last, err = sys.LoadASP("RP1", "fir128")
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(last.LatencyUS, "sim-us")
+			b.ReportMetric(last.ThroughputMBs, "sim-MB/s")
+		})
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func benchFrames(n int) [][]uint32 {
+	rng := sim.NewRNG(1)
+	frames := make([][]uint32, n)
+	for i := range frames {
+		f := make([]uint32, fabric.FrameWords)
+		for w := range f {
+			if rng.Bool(0.5) {
+				f[w] = rng.Uint32()
+			}
+		}
+		frames[i] = f
+	}
+	return frames
+}
+
+// BenchmarkBitstreamBuild measures assembling the 529 KB partial bitstream.
+func BenchmarkBitstreamBuild(b *testing.B) {
+	dev := fabric.Z7020()
+	rp := fabric.StandardRPs(dev)[0]
+	frames := benchFrames(dev.RegionFrames(rp))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bitstream.Build(dev, rp, "bench", frames); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(bitstream.ExpectedSize(1308)))
+}
+
+// BenchmarkConfigCRC measures the running configuration CRC over a full
+// FDRI payload.
+func BenchmarkConfigCRC(b *testing.B) {
+	frames := benchFrames(1308)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var crc bitstream.ConfigCRC
+		for _, f := range frames {
+			crc.UpdateWords(bitstream.RegFDRI, f)
+		}
+	}
+	b.SetBytes(int64(1308 * fabric.FrameWords * 4))
+}
+
+// BenchmarkCompress / BenchmarkDecompress measure the Sec.-VI RLE codec on
+// a realistic image.
+func BenchmarkCompress(b *testing.B) {
+	dev := fabric.Z7020()
+	rp := fabric.StandardRPs(dev)[0]
+	asp, err := workload.LibraryASP("fir128")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bs, err := asp.Bitstream(dev, rp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bitstream.Compress(bs.Raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(bs.Raw)))
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	dev := fabric.Z7020()
+	rp := fabric.StandardRPs(dev)[0]
+	asp, err := workload.LibraryASP("fir128")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bs, err := asp.Bitstream(dev, rp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	comp, err := bitstream.Compress(bs.Raw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bitstream.Decompress(comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(bs.Raw)))
+}
+
+// BenchmarkKernelEvents measures the DES kernel's event throughput (the
+// simulation's own speed limit).
+func BenchmarkKernelEvents(b *testing.B) {
+	k := sim.NewKernel()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		k.Schedule(10*sim.Nanosecond, tick)
+	}
+	k.Schedule(10*sim.Nanosecond, tick)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step()
+	}
+}
+
+// BenchmarkAblation_Contention (A4): reconfiguration throughput under
+// competing accelerator memory traffic.
+func BenchmarkAblation_Contention(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.AblationContention(benchEnv(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(mustCell(b, rep, 0, 1), "MB/s-idle")
+	b.ReportMetric(mustCell(b, rep, 3, 1), "MB/s-400MBs-traffic")
+}
+
+// BenchmarkAblation_Scrub (A5): SEU repair versus full reload.
+func BenchmarkAblation_Scrub(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.AblationScrub(benchEnv(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(mustCell(b, rep, 0, 3), "us-scrub-1seu")
+	b.ReportMetric(mustCell(b, rep, 3, 3), "us-full-reload")
+}

@@ -1,0 +1,106 @@
+// Command bitgen generates, inspects and compresses the synthetic partial
+// bitstreams used throughout the reproduction.
+//
+// Usage:
+//
+//	bitgen -asp fir128 -rp RP1 -out fir128.bit         # generate
+//	bitgen -asp fir128 -rp RP1 -out fir128.bitc -z     # generate compressed
+//	bitgen -inspect fir128.bit                         # decode the header
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bitstream"
+	"repro/internal/fabric"
+	"repro/internal/workload"
+)
+
+func main() {
+	asp := flag.String("asp", "", "ASP name from the workload library")
+	rp := flag.String("rp", "RP1", "target reconfigurable partition")
+	out := flag.String("out", "", "output file")
+	compress := flag.Bool("z", false, "store RLE-compressed")
+	inspect := flag.String("inspect", "", "file to decode instead of generating")
+	flag.Parse()
+
+	if err := realMain(*asp, *rp, *out, *compress, *inspect); err != nil {
+		fmt.Fprintln(os.Stderr, "bitgen:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(aspName, rpName, out string, compress bool, inspect string) error {
+	if inspect != "" {
+		return doInspect(inspect)
+	}
+	if aspName == "" || out == "" {
+		return fmt.Errorf("need -asp and -out (or -inspect); ASPs: %s", aspNames())
+	}
+	dev := fabric.Z7020()
+	var region *fabric.Region
+	for _, r := range fabric.StandardRPs(dev) {
+		if r.Name == rpName {
+			r := r
+			region = &r
+			break
+		}
+	}
+	if region == nil {
+		return fmt.Errorf("unknown RP %q", rpName)
+	}
+	asp, err := workload.LibraryASP(aspName)
+	if err != nil {
+		return err
+	}
+	bs, err := asp.Bitstream(dev, *region)
+	if err != nil {
+		return err
+	}
+	data := bs.Raw
+	if compress {
+		if data, err = bitstream.Compress(bs.Raw); err != nil {
+			return err
+		}
+		fmt.Printf("compressed %d → %d bytes (%.2fx)\n",
+			len(bs.Raw), len(data), bitstream.CompressionRatio(bs.Raw, data))
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s for %s, %d frames, %d bytes on disk\n",
+		out, aspName, rpName, bs.Header.Frames, len(data))
+	return nil
+}
+
+func doInspect(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if dec, derr := bitstream.Decompress(data); derr == nil {
+		fmt.Printf("compressed image: %d bytes → %d bytes (%.2fx)\n",
+			len(data), len(dec), bitstream.CompressionRatio(dec, data))
+		data = dec
+	}
+	h, err := bitstream.ParseHeader(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("name:      %s\npart:      %s\nframes:    %d\nwords:     %d\nfile size: %d bytes\nfile CRC:  %08x (verified)\n",
+		h.Name, h.Part, h.Frames, h.DataWords, len(data), h.FileCRC)
+	return nil
+}
+
+func aspNames() string {
+	out := ""
+	for i, a := range workload.Library() {
+		if i > 0 {
+			out += ", "
+		}
+		out += a.Name
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateAndInspect(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "fir.bit")
+	if err := realMain("fir128", "RP1", out, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != 528760 {
+		t.Errorf("file size = %d, want 528760", info.Size())
+	}
+	if err := realMain("", "", "", false, out); err != nil {
+		t.Errorf("inspect: %v", err)
+	}
+}
+
+func TestGenerateCompressed(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "fir.bitc")
+	if err := realMain("fir128", "RP2", out, true, ""); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() >= 528760 {
+		t.Errorf("compressed size = %d, want < raw", info.Size())
+	}
+	if err := realMain("", "", "", false, out); err != nil {
+		t.Errorf("inspect compressed: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := realMain("", "RP1", "", false, ""); err == nil {
+		t.Error("missing args accepted")
+	}
+	if err := realMain("ghost", "RP1", "x.bit", false, ""); err == nil {
+		t.Error("unknown ASP accepted")
+	}
+	if err := realMain("fir128", "RP9", "x.bit", false, ""); err == nil {
+		t.Error("unknown RP accepted")
+	}
+	if err := realMain("", "", "", false, "/nonexistent/file.bit"); err == nil {
+		t.Error("missing inspect file accepted")
+	}
+}
+
+func TestASPNamesListsLibrary(t *testing.T) {
+	names := aspNames()
+	if !strings.Contains(names, "fir128") || !strings.Contains(names, "sha3") {
+		t.Errorf("aspNames = %q", names)
+	}
+}

@@ -1,0 +1,99 @@
+// Command pdrbench regenerates every table and figure of the paper's
+// evaluation from the simulation and prints them side by side with the
+// published numbers.
+//
+// Usage:
+//
+//	pdrbench                 # run everything
+//	pdrbench -run tableI     # one artefact: tableI fig5 stress fig6
+//	                         # tableII tableIII secVI claims crc knee guard
+//	pdrbench -csv out/       # also write figure series as CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+type runner struct {
+	name string
+	fn   func(*experiments.Env) (*experiments.Report, error)
+}
+
+var runners = []runner{
+	{"tableI", experiments.TableI},
+	{"fig5", experiments.Fig5},
+	{"stress", experiments.TempStress},
+	{"fig6", experiments.Fig6},
+	{"tableII", experiments.TableII},
+	{"tableIII", experiments.TableIII},
+	{"secVI", experiments.SecVI},
+	{"claims", experiments.LatencyClaims},
+	{"crc", experiments.AblationCRC},
+	{"knee", experiments.AblationKnee},
+	{"guard", experiments.AblationRobustGuard},
+	{"contention", experiments.AblationContention},
+	{"scrub", experiments.AblationScrub},
+}
+
+func main() {
+	run := flag.String("run", "all", "artefact to regenerate (all|"+names()+")")
+	csvDir := flag.String("csv", "", "directory to write figure CSV series into")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	if err := realMain(*run, *csvDir, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "pdrbench:", err)
+		os.Exit(1)
+	}
+}
+
+func names() string {
+	out := make([]string, len(runners))
+	for i, r := range runners {
+		out[i] = r.name
+	}
+	return strings.Join(out, "|")
+}
+
+func realMain(run, csvDir string, seed uint64) error {
+	matched := false
+	for _, r := range runners {
+		if run != "all" && run != r.name {
+			continue
+		}
+		matched = true
+		// A fresh environment per artefact keeps them independent, as each
+		// paper experiment started from a freshly booted board.
+		env, err := experiments.NewEnv(seed)
+		if err != nil {
+			return err
+		}
+		rep, err := r.fn(env)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		fmt.Println(rep.Render())
+		if csvDir != "" {
+			for _, s := range rep.Series {
+				path := filepath.Join(csvDir, s.Name+".csv")
+				if err := os.MkdirAll(csvDir, 0o755); err != nil {
+					return err
+				}
+				if err := os.WriteFile(path, []byte(s.CSV()), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", path)
+			}
+		}
+	}
+	if !matched {
+		return fmt.Errorf("unknown artefact %q (want all|%s)", run, names())
+	}
+	return nil
+}

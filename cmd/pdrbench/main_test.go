@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSingleArtefact(t *testing.T) {
+	if err := realMain("tableIII", "", 42); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownArtefact(t *testing.T) {
+	if err := realMain("tableIX", "", 42); err == nil {
+		t.Error("unknown artefact accepted")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	if err := realMain("fig5", dir, 42); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig5.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "frequency_mhz,throughput_mbs\n") {
+		t.Errorf("csv = %q…", data[:40])
+	}
+}
+
+func TestRunnerNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range runners {
+		if seen[r.name] {
+			t.Errorf("duplicate runner %q", r.name)
+		}
+		seen[r.name] = true
+	}
+	if len(runners) < 10 {
+		t.Errorf("only %d runners registered", len(runners))
+	}
+}

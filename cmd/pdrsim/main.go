@@ -1,0 +1,137 @@
+// Command pdrsim replays the paper's bench test flow (Fig. 4) on the
+// simulated ZedBoard: boot from SD, select the over-clock frequency with
+// the slide switches, push a button to load one of the two bitstreams, and
+// read the OLED.
+//
+// Usage:
+//
+//	pdrsim                 # walk all switch settings (the paper's sweep)
+//	pdrsim -switches 3     # one setting (3 → 200 MHz per the switch table)
+//	pdrsim -heat 100       # heat-gun the die first (Sec. IV-A)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/zynq"
+)
+
+func main() {
+	switches := flag.Int("switches", -1, "slide-switch value (-1 = sweep all)")
+	heat := flag.Float64("heat", 0, "heat-gun die target in °C (0 = off)")
+	seed := flag.Uint64("seed", 7, "simulation seed")
+	flag.Parse()
+
+	if err := realMain(*switches, *heat, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "pdrsim:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(switches int, heat float64, seed uint64) error {
+	p, err := zynq.NewPlatform(zynq.Options{Seed: seed, FastThermal: true})
+	if err != nil {
+		return err
+	}
+	b := board.New(p)
+
+	// The SD card carries the application and two partial bitstreams,
+	// as in the paper's test flow.
+	b.SD.Store("boot.bin", []byte("pdr-app"))
+	aspA, err := workload.LibraryASP("fir128")
+	if err != nil {
+		return err
+	}
+	aspB, err := workload.LibraryASP("sha3")
+	if err != nil {
+		return err
+	}
+	bsA, err := aspA.Bitstream(p.Device, p.RPs[0])
+	if err != nil {
+		return err
+	}
+	bsB, err := aspB.Bitstream(p.Device, p.RPs[0])
+	if err != nil {
+		return err
+	}
+	b.SD.Store("partial_a.bit", bsA.Raw)
+	b.SD.Store("partial_b.bit", bsB.Raw)
+
+	if err := b.Boot(); err != nil {
+		return err
+	}
+	fmt.Printf("booted; SD card: %v\n", b.SD.Files())
+	ctrl := core.New(p)
+
+	if heat > 0 {
+		fmt.Printf("heat gun on, target %.0f °C…\n", heat)
+		if _, ok := p.Gun.StabilizeAt(heat, 0.5, 10*sim.Minute); !ok {
+			return fmt.Errorf("die never reached %.0f °C", heat)
+		}
+		fmt.Printf("die at %.1f °C\n", p.Die.Sensor())
+	}
+
+	settings := []int{switches}
+	if switches < 0 {
+		settings = settings[:0]
+		for i := range board.SwitchTable {
+			settings = append(settings, i)
+		}
+	}
+	for _, sw := range settings {
+		b.SetSwitches(uint8(sw))
+		freq, err := b.SelectedFrequencyMHz()
+		if err != nil {
+			return err
+		}
+		if _, err := ctrl.SetFrequencyMHz(freq); err != nil {
+			return err
+		}
+		// Push-button A starts the ICAP operation on bitstream A.
+		var res core.Result
+		var loadErr error
+		b.OnButton(board.BtnLoadA, func() {
+			res, loadErr = ctrl.Load("RP1", bsA)
+		})
+		b.Press(board.BtnLoadA)
+		p.Kernel.RunFor(2 * sim.Millisecond)
+		if loadErr != nil {
+			return loadErr
+		}
+		lat := 0.0
+		if res.IRQReceived {
+			lat = res.LatencyUS
+		}
+		b.ShowStatus(freq, res.CRCValid, lat)
+		fmt.Printf("switches=%d → %3.0f MHz\n%s\n\n", sw, freq, indent(b.OLED.String()))
+	}
+	return nil
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "  | " + line + "\n"
+	}
+	return out[:len(out)-1]
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			lines = append(lines, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	return append(lines, cur)
+}

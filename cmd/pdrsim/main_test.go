@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSingleSwitchSetting(t *testing.T) {
+	if err := realMain(3, 0, 7); err != nil { // 3 → 200 MHz
+		t.Fatal(err)
+	}
+}
+
+func TestHangSetting(t *testing.T) {
+	if err := realMain(6, 0, 7); err != nil { // 6 → 310 MHz: no interrupt
+		t.Fatal(err)
+	}
+}
+
+func TestWithHeatGun(t *testing.T) {
+	if err := realMain(0, 80, 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndentHelper(t *testing.T) {
+	got := indent("a\nb")
+	if !strings.Contains(got, "| a") || !strings.Contains(got, "| b") {
+		t.Errorf("indent = %q", got)
+	}
+}
+
+func TestSplitLines(t *testing.T) {
+	lines := splitLines("x\ny\n")
+	if len(lines) != 3 || lines[0] != "x" || lines[1] != "y" || lines[2] != "" {
+		t.Errorf("splitLines = %v", lines)
+	}
+}

@@ -1,0 +1,153 @@
+// Package axi models the AMBA AXI plumbing between the Zynq PS and PL that
+// the paper's configuration path uses: an AXI4-Lite register port (DMA
+// programming, status reads), and the clock-domain-crossing stream FIFO
+// between the DMA's memory side and the over-clocked ICAP stream side.
+package axi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// LiteBus models an AXI4-Lite register path through the PS general-purpose
+// port: each access costs a fixed bus latency. The paper's C program uses it
+// to program the DMA, read status registers and stop the timer.
+type LiteBus struct {
+	kernel *sim.Kernel
+	// WriteLatency and ReadLatency are per-access costs.
+	WriteLatency sim.Duration
+	ReadLatency  sim.Duration
+
+	writes uint64
+	reads  uint64
+}
+
+// NewLiteBus creates a register bus with the ZedBoard-calibrated latencies
+// (about 120 ns per access through the GP port and interconnect).
+func NewLiteBus(k *sim.Kernel) *LiteBus {
+	return &LiteBus{kernel: k, WriteLatency: 120 * sim.Nanosecond, ReadLatency: 120 * sim.Nanosecond}
+}
+
+// Write performs a register write, invoking fn when it completes.
+func (b *LiteBus) Write(fn func()) {
+	b.writes++
+	b.kernel.Schedule(b.WriteLatency, fn)
+}
+
+// WriteN performs n back-to-back register writes.
+func (b *LiteBus) WriteN(n int, fn func()) {
+	if n <= 0 {
+		b.kernel.Schedule(0, fn)
+		return
+	}
+	b.writes += uint64(n)
+	b.kernel.Schedule(sim.Duration(n)*b.WriteLatency, fn)
+}
+
+// Read performs a register read.
+func (b *LiteBus) Read(fn func()) {
+	b.reads++
+	b.kernel.Schedule(b.ReadLatency, fn)
+}
+
+// Accesses returns the write and read counters.
+func (b *LiteBus) Accesses() (writes, reads uint64) { return b.writes, b.reads }
+
+// StreamFIFO is the CDC FIFO between the DMA (memory clock) and the ICAP
+// (over-clocked domain). It tracks occupancy in bytes with a three-phase
+// protocol that lets the DMA reserve space before the data physically
+// arrives:
+//
+//	Reserve → (burst in flight) → Commit → (consumer drains) → Release
+type StreamFIFO struct {
+	capacity int
+	reserved int // includes committed
+	occupied int
+
+	waiters []waiter
+}
+
+type waiter struct {
+	bytes int
+	fn    func()
+}
+
+// NewStreamFIFO creates a FIFO of the given byte capacity.
+func NewStreamFIFO(capacity int) *StreamFIFO {
+	if capacity <= 0 {
+		panic("axi: non-positive FIFO capacity")
+	}
+	return &StreamFIFO{capacity: capacity}
+}
+
+// Capacity returns the FIFO size in bytes.
+func (f *StreamFIFO) Capacity() int { return f.capacity }
+
+// Free returns the unreserved space.
+func (f *StreamFIFO) Free() int { return f.capacity - f.reserved }
+
+// Occupied returns the bytes physically present.
+func (f *StreamFIFO) Occupied() int { return f.occupied }
+
+// TryReserve claims space for an incoming burst; it returns false when the
+// FIFO cannot accept it yet.
+func (f *StreamFIFO) TryReserve(bytes int) bool {
+	if bytes > f.capacity {
+		panic(fmt.Sprintf("axi: burst %dB exceeds FIFO capacity %dB", bytes, f.capacity))
+	}
+	if f.capacity-f.reserved < bytes {
+		return false
+	}
+	f.reserved += bytes
+	return true
+}
+
+// WhenFree registers fn to run as soon as bytes of space can be reserved;
+// the space is reserved on the caller's behalf before fn runs.
+func (f *StreamFIFO) WhenFree(bytes int, fn func()) {
+	if f.TryReserve(bytes) {
+		fn()
+		return
+	}
+	f.waiters = append(f.waiters, waiter{bytes: bytes, fn: fn})
+}
+
+// Commit marks reserved bytes as physically present (the burst crossed the
+// CDC boundary).
+func (f *StreamFIFO) Commit(bytes int) {
+	f.occupied += bytes
+	if f.occupied > f.reserved {
+		panic("axi: FIFO commit exceeds reservation")
+	}
+}
+
+// Release frees bytes after the consumer drained them, waking waiters in
+// FIFO order.
+func (f *StreamFIFO) Release(bytes int) {
+	f.occupied -= bytes
+	f.reserved -= bytes
+	if f.occupied < 0 || f.reserved < 0 {
+		panic("axi: FIFO release underflow")
+	}
+	for len(f.waiters) > 0 {
+		w := f.waiters[0]
+		if f.capacity-f.reserved < w.bytes {
+			break
+		}
+		f.reserved += w.bytes
+		f.waiters = f.waiters[1:]
+		w.fn()
+	}
+}
+
+// CDCSyncCycles is the clock-domain-crossing handshake cost per burst, in
+// cycles of the destination (over-clocked) domain. The fractional value is
+// the average of the 1–2-cycle synchroniser: it is what bends Fig. 5's
+// plateau slightly upward between 240 and 280 MHz (DESIGN.md §2).
+const CDCSyncCycles = 1.1
+
+// CDCDelay returns the handshake duration at destination frequency f.
+func CDCDelay(f sim.Hz) sim.Duration {
+	return sim.Duration(CDCSyncCycles * 1e12 / float64(f))
+}

@@ -1,0 +1,144 @@
+package axi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestLiteBusLatencies(t *testing.T) {
+	k := sim.NewKernel()
+	b := NewLiteBus(k)
+	var wAt, rAt sim.Time
+	b.Write(func() { wAt = k.Now() })
+	k.Run()
+	b.Read(func() { rAt = k.Now() })
+	k.Run()
+	if wAt != sim.Time(120*sim.Nanosecond) {
+		t.Errorf("write at %v", wAt)
+	}
+	if rAt != sim.Time(240*sim.Nanosecond) {
+		t.Errorf("read at %v", rAt)
+	}
+	w, r := b.Accesses()
+	if w != 1 || r != 1 {
+		t.Errorf("accesses = %d/%d", w, r)
+	}
+}
+
+func TestLiteBusWriteN(t *testing.T) {
+	k := sim.NewKernel()
+	b := NewLiteBus(k)
+	var at sim.Time
+	b.WriteN(6, func() { at = k.Now() })
+	k.Run()
+	if at != sim.Time(720*sim.Nanosecond) {
+		t.Errorf("6 writes completed at %v, want 720ns", at)
+	}
+	called := false
+	b.WriteN(0, func() { called = true })
+	k.Run()
+	if !called {
+		t.Error("WriteN(0) must still call back")
+	}
+}
+
+func TestStreamFIFOReserveCommitRelease(t *testing.T) {
+	f := NewStreamFIFO(512)
+	if f.Capacity() != 512 || f.Free() != 512 {
+		t.Fatal("bad initial state")
+	}
+	if !f.TryReserve(128) {
+		t.Fatal("reserve failed")
+	}
+	if f.Free() != 384 {
+		t.Errorf("Free = %d", f.Free())
+	}
+	f.Commit(128)
+	if f.Occupied() != 128 {
+		t.Errorf("Occupied = %d", f.Occupied())
+	}
+	f.Release(128)
+	if f.Free() != 512 || f.Occupied() != 0 {
+		t.Error("release did not restore state")
+	}
+}
+
+func TestStreamFIFORejectsWhenFull(t *testing.T) {
+	f := NewStreamFIFO(256)
+	if !f.TryReserve(128) || !f.TryReserve(128) {
+		t.Fatal("reserves should fit")
+	}
+	if f.TryReserve(128) {
+		t.Error("third reserve should fail")
+	}
+}
+
+func TestStreamFIFOWaitersWakeInOrder(t *testing.T) {
+	f := NewStreamFIFO(256)
+	f.TryReserve(128)
+	f.TryReserve(128)
+	f.Commit(128)
+	f.Commit(128)
+	var order []int
+	f.WhenFree(128, func() { order = append(order, 1) })
+	f.WhenFree(128, func() { order = append(order, 2) })
+	if len(order) != 0 {
+		t.Fatal("waiters ran early")
+	}
+	f.Release(128)
+	if len(order) != 1 || order[0] != 1 {
+		t.Fatalf("order after first release = %v", order)
+	}
+	f.Release(128)
+	if len(order) != 2 || order[1] != 2 {
+		t.Fatalf("order after second release = %v", order)
+	}
+}
+
+func TestStreamFIFOWhenFreeImmediate(t *testing.T) {
+	f := NewStreamFIFO(256)
+	ran := false
+	f.WhenFree(128, func() { ran = true })
+	if !ran {
+		t.Error("WhenFree with space must run synchronously")
+	}
+	if f.Free() != 128 {
+		t.Error("space must be reserved for the callback")
+	}
+}
+
+func TestStreamFIFOPanicsOnMisuse(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"oversize burst", func() { NewStreamFIFO(64).TryReserve(128) }},
+		{"commit without reserve", func() { NewStreamFIFO(64).Commit(32) }},
+		{"release underflow", func() { NewStreamFIFO(64).Release(32) }},
+		{"zero capacity", func() { NewStreamFIFO(0) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestCDCDelayScalesInversely(t *testing.T) {
+	d100 := CDCDelay(100 * sim.MHz)
+	d200 := CDCDelay(200 * sim.MHz)
+	if math.Abs(float64(d100)-2*float64(d200)) > 2 {
+		t.Errorf("CDC delay not inverse in f: %v vs %v", d100, d200)
+	}
+	// 1.1 cycles at 100 MHz = 11 ns.
+	if d100 != 11*sim.Nanosecond {
+		t.Errorf("CDCDelay(100MHz) = %v, want 11ns", d100)
+	}
+}

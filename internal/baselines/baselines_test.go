@@ -1,0 +1,154 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+)
+
+const paperSize = 528760 // Table I bitstream
+
+func TestTableIIIRows(t *testing.T) {
+	// Table III: design, platform, best frequency, throughput.
+	tests := []struct {
+		ctrl     Controller
+		platform string
+		bestMHz  float64
+		wantMBs  float64
+		size     int
+	}{
+		{VF2012{}, "Virtex-6", 210, 839, paperSize},
+		{HP2011{}, "Virtex-5", 133, 419, paperSize},
+		{HKT2011{}, "Virtex-5", 550, 2200, 50 * 1024},
+		{ThisWork{}, "Zynq-7000", 280, 790, paperSize},
+	}
+	for _, tt := range tests {
+		if tt.ctrl.Platform() != tt.platform {
+			t.Errorf("%s: platform %q", tt.ctrl.Name(), tt.ctrl.Platform())
+		}
+		att, err := tt.ctrl.Load(tt.size, tt.bestMHz)
+		if err != nil {
+			t.Fatalf("%s: %v", tt.ctrl.Name(), err)
+		}
+		if !att.OK {
+			t.Fatalf("%s: load failed at its best frequency", tt.ctrl.Name())
+		}
+		if math.Abs(att.ThroughputMBs-tt.wantMBs)/tt.wantMBs > 0.01 {
+			t.Errorf("%s: %v MB/s, paper %v", tt.ctrl.Name(), att.ThroughputMBs, tt.wantMBs)
+		}
+	}
+}
+
+func TestVF2012FailureModes(t *testing.T) {
+	v := VF2012{}
+	// Nominal matches the paper: ≈400 MB/s at 100 MHz.
+	att, err := v.Load(paperSize, 100)
+	if err != nil || !att.OK {
+		t.Fatalf("nominal load: %+v %v", att, err)
+	}
+	if math.Abs(att.ThroughputMBs-400) > 2 {
+		t.Errorf("100 MHz throughput = %v, want ≈400", att.ThroughputMBs)
+	}
+	// Above 210: silent failure (no CRC!).
+	att, err = v.Load(paperSize, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.OK || att.Detected {
+		t.Errorf("250 MHz: %+v — failure must be silent", att)
+	}
+	// Above 300: freeze.
+	att, _ = v.Load(paperSize, 320)
+	if !att.Froze {
+		t.Error("320 MHz must freeze")
+	}
+	if v.HasCRC() {
+		t.Error("VF-2012 has no CRC")
+	}
+}
+
+func TestHP2011ActiveFeedbackClamps(t *testing.T) {
+	h := HP2011{}
+	att1, _ := h.Load(paperSize, 133)
+	att2, _ := h.Load(paperSize, 400) // feedback clamps
+	if !att2.OK {
+		t.Fatal("clamped load should succeed")
+	}
+	if att2.ThroughputMBs != att1.ThroughputMBs {
+		t.Errorf("clamp should cap at 133 MHz: %v vs %v", att2.ThroughputMBs, att1.ThroughputMBs)
+	}
+}
+
+func TestHKT2011FIFOLimit(t *testing.T) {
+	k := HKT2011{}
+	if _, err := k.Load(paperSize, 550); err == nil {
+		t.Error("529 KB must not fit the 50 KB FIFO")
+	}
+	att, err := k.Load(40*1024, 550)
+	if err != nil || !att.OK {
+		t.Fatalf("small load: %+v %v", att, err)
+	}
+	if math.Abs(att.ThroughputMBs-2200) > 1 {
+		t.Errorf("HKT small load throughput = %v, want 2200", att.ThroughputMBs)
+	}
+	att, _ = k.Load(40*1024, 600)
+	if att.OK {
+		t.Error("beyond 550 MHz must fail")
+	}
+}
+
+func TestThisWorkFailureTaxonomy(t *testing.T) {
+	w := ThisWork{}
+	att, _ := w.Load(paperSize, 310)
+	if att.OK || !att.Detected {
+		t.Errorf("310 MHz: %+v — hang must be detected", att)
+	}
+	att, _ = w.Load(paperSize, 330)
+	if att.OK || !att.Detected {
+		t.Errorf("330 MHz: %+v — corruption must be detected", att)
+	}
+	if !w.HasCRC() {
+		t.Error("this work has CRC")
+	}
+}
+
+func TestOnlyThisWorkDetectsOverdriveOnLargeBitstreams(t *testing.T) {
+	// The robustness claim behind Table III: push every controller 20%
+	// past its best frequency with a real-size bitstream; only designs
+	// with CRC (or feedback) notice or avoid the failure.
+	for _, ctrl := range All() {
+		if ctrl.MaxBitstreamBytes() != 0 && paperSize > ctrl.MaxBitstreamBytes() {
+			continue // HKT-2011 cannot even attempt it
+		}
+		att, err := ctrl.Load(paperSize, ctrl.BestMHz()*1.2)
+		if err != nil {
+			t.Fatalf("%s: %v", ctrl.Name(), err)
+		}
+		safe := att.OK || att.Detected || att.Froze
+		if ctrl.HasCRC() && !safe {
+			t.Errorf("%s: undetected failure despite CRC/feedback", ctrl.Name())
+		}
+		if ctrl.Name() == "VF-2012" && (att.OK || att.Detected) {
+			t.Errorf("VF-2012 at 252 MHz should fail silently: %+v", att)
+		}
+	}
+}
+
+func TestArgValidation(t *testing.T) {
+	for _, ctrl := range All() {
+		if _, err := ctrl.Load(0, 100); err == nil {
+			t.Errorf("%s: zero size accepted", ctrl.Name())
+		}
+		if _, err := ctrl.Load(1024, 0); err == nil {
+			t.Errorf("%s: zero frequency accepted", ctrl.Name())
+		}
+	}
+}
+
+func TestAllOrderMatchesPaperTable(t *testing.T) {
+	names := []string{"VF-2012", "HP-2011", "HKT-2011", "This work"}
+	for i, ctrl := range All() {
+		if ctrl.Name() != names[i] {
+			t.Errorf("row %d = %s, want %s", i, ctrl.Name(), names[i])
+		}
+	}
+}

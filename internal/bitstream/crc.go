@@ -1,0 +1,88 @@
+package bitstream
+
+import (
+	"hash/crc32"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ConfigCRC is the running configuration CRC maintained by the device while
+// a bitstream loads. Every register write (including each FDRI data word)
+// folds the 5-bit register address and the 32-bit word into the checksum;
+// writing the CRC register compares the expected value and writing
+// CMD=RCRC resets it. The zero value is a reset CRC.
+type ConfigCRC struct {
+	crc uint32
+}
+
+// Reset clears the running value (CMD = RCRC).
+func (c *ConfigCRC) Reset() { c.crc = 0 }
+
+// Update folds one register write into the checksum.
+func (c *ConfigCRC) Update(reg Reg, word uint32) {
+	var buf [5]byte
+	buf[0] = byte(reg) & 0x1F
+	buf[1] = byte(word >> 24)
+	buf[2] = byte(word >> 16)
+	buf[3] = byte(word >> 8)
+	buf[4] = byte(word)
+	c.crc = crc32.Update(c.crc, castagnoli, buf[:])
+}
+
+// UpdateWords folds a run of writes to the same register (the FDRI case).
+func (c *ConfigCRC) UpdateWords(reg Reg, words []uint32) {
+	// Process in chunks to amortise the crc32.Update call overhead.
+	var buf [5 * 256]byte
+	for len(words) > 0 {
+		n := len(words)
+		if n > 256 {
+			n = 256
+		}
+		for i := 0; i < n; i++ {
+			w := words[i]
+			off := i * 5
+			buf[off] = byte(reg) & 0x1F
+			buf[off+1] = byte(w >> 24)
+			buf[off+2] = byte(w >> 16)
+			buf[off+3] = byte(w >> 8)
+			buf[off+4] = byte(w)
+		}
+		c.crc = crc32.Update(c.crc, castagnoli, buf[:n*5])
+		words = words[n:]
+	}
+}
+
+// Value returns the current checksum.
+func (c *ConfigCRC) Value() uint32 { return c.crc }
+
+// FrameCRC computes a detached checksum over raw frame words, used by the
+// CRC read-back monitor to compare configuration memory against the golden
+// reference without replaying the packet stream.
+func FrameCRC(frames [][]uint32) uint32 {
+	crc := uint32(0)
+	var buf [4 * 256]byte
+	for _, f := range frames {
+		words := f
+		for len(words) > 0 {
+			n := len(words)
+			if n > 256 {
+				n = 256
+			}
+			for i := 0; i < n; i++ {
+				w := words[i]
+				off := i * 4
+				buf[off] = byte(w >> 24)
+				buf[off+1] = byte(w >> 16)
+				buf[off+2] = byte(w >> 8)
+				buf[off+3] = byte(w)
+			}
+			crc = crc32.Update(crc, castagnoli, buf[:n*4])
+			words = words[n:]
+		}
+	}
+	return crc
+}
+
+// FileCRC is the whole-payload checksum stored in the BIT-style header to
+// detect storage/transport corruption (distinct from the config CRC).
+func FileCRC(payload []byte) uint32 { return crc32.Checksum(payload, castagnoli) }

@@ -1,0 +1,186 @@
+// Package bitstream implements the configuration bitstream format used by
+// the reproduction: a BIT-style file header followed by a 7-series-style
+// packet stream (sync word, type-1/type-2 packets, configuration registers
+// and commands), a running configuration CRC, and an RLE compressor for the
+// Sec.-VI decompressor block.
+//
+// The packet grammar mirrors the real 7-series one closely enough that a
+// reader familiar with UG470 will recognise every word; the CRC is modelled
+// with CRC-32C over the (register, word) stream rather than the exact
+// hardware bit ordering (internally consistent — corruption anywhere in the
+// stream is detected — but not bit-compatible with Vivado output).
+package bitstream
+
+import (
+	"fmt"
+)
+
+// Well-known configuration words.
+const (
+	// SyncWord marks the start of the packet stream.
+	SyncWord uint32 = 0xAA995566
+	// NOP is a type-1 no-op packet.
+	NOP uint32 = 0x20000000
+	// DummyWord pads the stream before synchronisation.
+	DummyWord uint32 = 0xFFFFFFFF
+	// BusWidthSync and BusWidthDetect configure the configuration bus width.
+	BusWidthSync   uint32 = 0x000000BB
+	BusWidthDetect uint32 = 0x11220044
+)
+
+// Reg is a configuration register address.
+type Reg uint32
+
+// Configuration registers (the 7-series set we model).
+const (
+	RegCRC    Reg = 0x00
+	RegFAR    Reg = 0x01
+	RegFDRI   Reg = 0x02
+	RegFDRO   Reg = 0x03
+	RegCMD    Reg = 0x04
+	RegCTL0   Reg = 0x05
+	RegMASK   Reg = 0x06
+	RegSTAT   Reg = 0x07
+	RegLOUT   Reg = 0x08
+	RegCOR0   Reg = 0x09
+	RegIDCODE Reg = 0x0C
+)
+
+// String names the register.
+func (r Reg) String() string {
+	switch r {
+	case RegCRC:
+		return "CRC"
+	case RegFAR:
+		return "FAR"
+	case RegFDRI:
+		return "FDRI"
+	case RegFDRO:
+		return "FDRO"
+	case RegCMD:
+		return "CMD"
+	case RegCTL0:
+		return "CTL0"
+	case RegMASK:
+		return "MASK"
+	case RegSTAT:
+		return "STAT"
+	case RegLOUT:
+		return "LOUT"
+	case RegCOR0:
+		return "COR0"
+	case RegIDCODE:
+		return "IDCODE"
+	default:
+		return fmt.Sprintf("Reg(0x%02X)", uint32(r))
+	}
+}
+
+// Cmd is a value written to the CMD register.
+type Cmd uint32
+
+// CMD register codes.
+const (
+	CmdNull   Cmd = 0x0
+	CmdWCFG   Cmd = 0x1 // enable configuration-memory writes
+	CmdLFRM   Cmd = 0x3 // last frame / de-assert GHIGH
+	CmdRCFG   Cmd = 0x4 // enable configuration-memory reads
+	CmdStart  Cmd = 0x5
+	CmdRCRC   Cmd = 0x7 // reset the running CRC
+	CmdDesync Cmd = 0xD // end of packet stream
+)
+
+// String names the command.
+func (c Cmd) String() string {
+	switch c {
+	case CmdNull:
+		return "NULL"
+	case CmdWCFG:
+		return "WCFG"
+	case CmdLFRM:
+		return "LFRM"
+	case CmdRCFG:
+		return "RCFG"
+	case CmdStart:
+		return "START"
+	case CmdRCRC:
+		return "RCRC"
+	case CmdDesync:
+		return "DESYNC"
+	default:
+		return fmt.Sprintf("Cmd(0x%X)", uint32(c))
+	}
+}
+
+// Opcode of a packet header.
+type Opcode uint32
+
+// Packet opcodes.
+const (
+	OpNOP   Opcode = 0
+	OpRead  Opcode = 1
+	OpWrite Opcode = 2
+)
+
+// Packet header layout (type 1):
+//
+//	[31:29] = 001, [28:27] = opcode, [17:13] = register, [10:0] = word count
+//
+// and type 2 (word count continuation for the previous type-1 header):
+//
+//	[31:29] = 010, [28:27] = opcode, [26:0] = word count
+const (
+	type1Tag = 0x1 << 29
+	type2Tag = 0x2 << 29
+	// Type1MaxWords is the largest count a type-1 packet can carry.
+	Type1MaxWords = 0x7FF
+	// Type2MaxWords is the largest count a type-2 packet can carry.
+	Type2MaxWords = 0x07FF_FFFF
+)
+
+// Type1 encodes a type-1 packet header.
+func Type1(op Opcode, reg Reg, words int) uint32 {
+	if words < 0 || words > Type1MaxWords {
+		panic(fmt.Sprintf("bitstream: type-1 word count %d out of range", words))
+	}
+	return uint32(type1Tag) | uint32(op)<<27 | (uint32(reg)&0x1F)<<13 | uint32(words)
+}
+
+// Type2 encodes a type-2 packet header.
+func Type2(op Opcode, words int) uint32 {
+	if words < 0 || words > Type2MaxWords {
+		panic(fmt.Sprintf("bitstream: type-2 word count %d out of range", words))
+	}
+	return uint32(type2Tag) | uint32(op)<<27 | uint32(words)
+}
+
+// Header describes a decoded packet header.
+type Header struct {
+	Type  int // 1 or 2
+	Op    Opcode
+	Reg   Reg // valid for type 1 only
+	Words int
+}
+
+// Decode classifies a configuration word as a packet header. ok is false for
+// non-header words (dummy, sync, data — data words are never passed to
+// Decode by the parser, which tracks counts).
+func Decode(w uint32) (Header, bool) {
+	switch w >> 29 {
+	case 0x1:
+		return Header{
+			Type:  1,
+			Op:    Opcode(w >> 27 & 0x3),
+			Reg:   Reg(w >> 13 & 0x1F),
+			Words: int(w & 0x7FF),
+		}, true
+	case 0x2:
+		return Header{
+			Type:  2,
+			Op:    Opcode(w >> 27 & 0x3),
+			Words: int(w & 0x07FF_FFFF),
+		}, true
+	default:
+		return Header{}, false
+	}
+}

@@ -1,0 +1,186 @@
+// Package board models the ZedBoard around the Zynq: the 8 slide switches
+// that select the over-clock frequency in the paper's test setup, the push
+// buttons that start ICAP operations, the OLED status display (Fig. 3), the
+// SD card the system boots from, and the current-sense headers feeding the
+// power measurements.
+package board
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/boot"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/zynq"
+)
+
+// Button identifies a push button.
+type Button int
+
+// The two buttons the test flow uses (Fig. 4): load bitstream A or B.
+const (
+	BtnLoadA Button = iota
+	BtnLoadB
+)
+
+// OLED is the 128×32 status display modelled as 4 lines of text.
+type OLED struct {
+	lines [4]string
+}
+
+// SetLine writes one display line (truncated to 21 chars like the panel).
+func (o *OLED) SetLine(i int, s string) {
+	if i < 0 || i >= len(o.lines) {
+		return
+	}
+	if len(s) > 21 {
+		s = s[:21]
+	}
+	o.lines[i] = s
+}
+
+// Line reads one display line.
+func (o *OLED) Line(i int) string {
+	if i < 0 || i >= len(o.lines) {
+		return ""
+	}
+	return o.lines[i]
+}
+
+// String renders the whole panel.
+func (o *OLED) String() string { return strings.Join(o.lines[:], "\n") }
+
+// SDCard is the boot medium: a name → content store holding the application
+// and the partial bitstreams.
+type SDCard struct {
+	files map[string][]byte
+}
+
+// NewSDCard creates an empty card.
+func NewSDCard() *SDCard { return &SDCard{files: make(map[string][]byte)} }
+
+// Store writes a file to the card.
+func (sd *SDCard) Store(name string, data []byte) { sd.files[name] = data }
+
+// Load reads a file from the card.
+func (sd *SDCard) Load(name string) ([]byte, error) {
+	data, ok := sd.files[name]
+	if !ok {
+		return nil, fmt.Errorf("board: no file %q on SD card", name)
+	}
+	return data, nil
+}
+
+// Files lists the card contents.
+func (sd *SDCard) Files() []string {
+	out := make([]string, 0, len(sd.files))
+	for name := range sd.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SwitchTable maps the 8 slide switches to over-clock frequencies, as in the
+// paper's test setup ("we select the over-clocking frequency by the 8
+// switches"). Switch value = index into the tested frequency list.
+var SwitchTable = []float64{100, 140, 180, 200, 240, 280, 310, 320, 360}
+
+// Board is the assembled ZedBoard.
+type Board struct {
+	Platform *zynq.Platform
+	OLED     *OLED
+	SD       *SDCard
+	Meter    *power.Meter
+
+	switches uint8
+	onButton map[Button]func()
+	booted   bool
+}
+
+// New builds a board around a platform and starts the power meter.
+func New(p *zynq.Platform) *Board {
+	return &Board{
+		Platform: p,
+		OLED:     &OLED{},
+		SD:       NewSDCard(),
+		Meter:    power.NewMeter(p.Kernel, p.Power, sim.Millisecond),
+		onButton: make(map[Button]func()),
+	}
+}
+
+// SDBytesPerSec is the card's streaming rate during boot.
+const SDBytesPerSec = 20e6
+
+// Boot models powering the board with the SD card inserted: the boot ROM
+// reads boot.bin, the FSBL brings up the PS and the PCAP loads the static
+// design. A structured boot image (package boot) gets its load time from
+// its actual partition sizes and its checksums verified; an opaque
+// application blob falls back to a nominal 50 ms load.
+func (b *Board) Boot() error {
+	raw, err := b.SD.Load("boot.bin")
+	if err != nil {
+		return fmt.Errorf("board: cannot boot: %w", err)
+	}
+	if img, perr := boot.Parse(raw); perr == nil {
+		b.Platform.Kernel.RunFor(sim.FromSeconds(float64(img.TotalBytes()) / SDBytesPerSec))
+	} else if len(raw) >= 8 && string(raw[:8]) == "ZBOOTIMG" {
+		// It claimed to be a boot image but failed validation: refuse, as
+		// the boot ROM would.
+		return fmt.Errorf("board: %w", perr)
+	} else {
+		b.Platform.Kernel.RunFor(50 * sim.Millisecond)
+	}
+	b.Platform.ConfigureStatic()
+	b.booted = true
+	b.OLED.SetLine(0, "PDR test ready")
+	return nil
+}
+
+// Booted reports boot completion.
+func (b *Board) Booted() bool { return b.booted }
+
+// SetSwitches sets the 8 slide switches.
+func (b *Board) SetSwitches(v uint8) { b.switches = v }
+
+// Switches reads the slide switches.
+func (b *Board) Switches() uint8 { return b.switches }
+
+// SelectedFrequencyMHz decodes the switch setting through SwitchTable.
+func (b *Board) SelectedFrequencyMHz() (float64, error) {
+	if int(b.switches) >= len(SwitchTable) {
+		return 0, fmt.Errorf("board: switch value %d beyond table (%d entries)", b.switches, len(SwitchTable))
+	}
+	return SwitchTable[b.switches], nil
+}
+
+// OnButton installs a press handler.
+func (b *Board) OnButton(btn Button, fn func()) { b.onButton[btn] = fn }
+
+// Press pushes a button (debounced: the handler runs once, 1 ms later, as a
+// human-scale event).
+func (b *Board) Press(btn Button) {
+	fn, ok := b.onButton[btn]
+	if !ok {
+		return
+	}
+	b.Platform.Kernel.Schedule(sim.Millisecond, fn)
+}
+
+// ShowStatus renders the paper's OLED layout: frequency and temperature,
+// CRC verdict, transfer time.
+func (b *Board) ShowStatus(freqMHz float64, crcOK bool, latencyUS float64) {
+	b.OLED.SetLine(0, fmt.Sprintf("f=%3.0fMHz T=%4.1fC", freqMHz, b.Platform.Die.Sensor()))
+	if crcOK {
+		b.OLED.SetLine(1, "CRC: valid")
+	} else {
+		b.OLED.SetLine(1, "CRC: NOT valid")
+	}
+	if latencyUS > 0 {
+		b.OLED.SetLine(2, fmt.Sprintf("t=%.2fus", latencyUS))
+	} else {
+		b.OLED.SetLine(2, "t=N/A no interrupt")
+	}
+}

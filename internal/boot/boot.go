@@ -1,0 +1,151 @@
+// Package boot implements the boot image the ZedBoard's SD card carries: a
+// BOOT.BIN-style container holding the first-stage boot loader, the static
+// PL bitstream and the bare-metal application, each partition protected by
+// a checksum — the "application software … loaded on an SD memory card"
+// of the paper's test flow (Fig. 4).
+package boot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// Standard partition names the boot ROM / FSBL look for.
+const (
+	PartFSBL      = "fsbl"
+	PartBitstream = "bitstream"
+	PartApp       = "app"
+)
+
+const (
+	magic      = "ZBOOTIMG"
+	headerSize = 16             // magic + version + count
+	entrySize  = 16 + 4 + 4 + 4 // name + offset + length + crc
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Partition is one named payload in the image.
+type Partition struct {
+	Name string
+	Data []byte
+}
+
+// Build assembles a boot image from partitions. Names must be unique, at
+// most 16 bytes, and the image must include an FSBL (the boot ROM refuses
+// to start without one).
+func Build(parts []Partition) ([]byte, error) {
+	names := make(map[string]bool, len(parts))
+	hasFSBL := false
+	for _, p := range parts {
+		if len(p.Name) == 0 || len(p.Name) > 16 {
+			return nil, fmt.Errorf("boot: bad partition name %q", p.Name)
+		}
+		if names[p.Name] {
+			return nil, fmt.Errorf("boot: duplicate partition %q", p.Name)
+		}
+		names[p.Name] = true
+		if p.Name == PartFSBL {
+			hasFSBL = true
+		}
+	}
+	if !hasFSBL {
+		return nil, fmt.Errorf("boot: image lacks an %q partition", PartFSBL)
+	}
+
+	tableLen := headerSize + entrySize*len(parts)
+	img := make([]byte, tableLen)
+	copy(img[0:8], magic)
+	binary.BigEndian.PutUint32(img[8:12], 1)
+	binary.BigEndian.PutUint32(img[12:16], uint32(len(parts)))
+
+	offset := tableLen
+	for i, p := range parts {
+		e := headerSize + i*entrySize
+		copy(img[e:e+16], p.Name)
+		binary.BigEndian.PutUint32(img[e+16:e+20], uint32(offset))
+		binary.BigEndian.PutUint32(img[e+20:e+24], uint32(len(p.Data)))
+		binary.BigEndian.PutUint32(img[e+24:e+28], crc32.Checksum(p.Data, castagnoli))
+		offset += len(p.Data)
+	}
+	for _, p := range parts {
+		img = append(img, p.Data...)
+	}
+	return img, nil
+}
+
+// Image is a parsed boot container.
+type Image struct {
+	parts map[string][]byte
+}
+
+// Parse validates and decodes a boot image, checking every partition's CRC.
+func Parse(raw []byte) (*Image, error) {
+	if len(raw) < headerSize || string(raw[0:8]) != magic {
+		return nil, fmt.Errorf("boot: not a boot image")
+	}
+	count := int(binary.BigEndian.Uint32(raw[12:16]))
+	tableLen := headerSize + entrySize*count
+	if len(raw) < tableLen {
+		return nil, fmt.Errorf("boot: truncated partition table")
+	}
+	img := &Image{parts: make(map[string][]byte, count)}
+	for i := 0; i < count; i++ {
+		e := headerSize + i*entrySize
+		name := cstr(raw[e : e+16])
+		off := int(binary.BigEndian.Uint32(raw[e+16 : e+20]))
+		length := int(binary.BigEndian.Uint32(raw[e+20 : e+24]))
+		want := binary.BigEndian.Uint32(raw[e+24 : e+28])
+		if off < tableLen || off+length > len(raw) {
+			return nil, fmt.Errorf("boot: partition %q out of bounds", name)
+		}
+		data := raw[off : off+length]
+		if got := crc32.Checksum(data, castagnoli); got != want {
+			return nil, fmt.Errorf("boot: partition %q checksum mismatch", name)
+		}
+		img.parts[name] = data
+	}
+	if _, ok := img.parts[PartFSBL]; !ok {
+		return nil, fmt.Errorf("boot: image lacks an %q partition", PartFSBL)
+	}
+	return img, nil
+}
+
+func cstr(b []byte) string {
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}
+
+// Partition returns a named payload.
+func (i *Image) Partition(name string) ([]byte, error) {
+	data, ok := i.parts[name]
+	if !ok {
+		return nil, fmt.Errorf("boot: no partition %q", name)
+	}
+	return data, nil
+}
+
+// Names lists partitions alphabetically.
+func (i *Image) Names() []string {
+	out := make([]string, 0, len(i.parts))
+	for n := range i.parts {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalBytes is the payload volume (what the SD card must stream at boot).
+func (i *Image) TotalBytes() int {
+	total := 0
+	for _, d := range i.parts {
+		total += len(d)
+	}
+	return total
+}

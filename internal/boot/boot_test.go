@@ -1,0 +1,115 @@
+package boot
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sampleParts() []Partition {
+	return []Partition{
+		{Name: PartFSBL, Data: []byte("fsbl-code")},
+		{Name: PartBitstream, Data: make([]byte, 4096)},
+		{Name: PartApp, Data: []byte("the C program")},
+	}
+}
+
+func TestBuildParseRoundTrip(t *testing.T) {
+	raw, err := Build(sampleParts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := img.Names()
+	if len(names) != 3 || names[0] != PartApp || names[1] != PartBitstream || names[2] != PartFSBL {
+		t.Errorf("Names = %v", names)
+	}
+	app, err := img.Partition(PartApp)
+	if err != nil || string(app) != "the C program" {
+		t.Errorf("app partition: %q %v", app, err)
+	}
+	if img.TotalBytes() != 9+4096+13 {
+		t.Errorf("TotalBytes = %d", img.TotalBytes())
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		parts []Partition
+	}{
+		{"no fsbl", []Partition{{Name: PartApp, Data: []byte{1}}}},
+		{"empty name", []Partition{{Name: "", Data: nil}, {Name: PartFSBL}}},
+		{"long name", []Partition{{Name: "seventeen-bytes-x", Data: nil}, {Name: PartFSBL}}},
+		{"duplicate", []Partition{{Name: PartFSBL}, {Name: PartFSBL}}},
+	}
+	for _, tc := range cases {
+		if _, err := Build(tc.parts); err == nil {
+			t.Errorf("%s: Build should fail", tc.name)
+		}
+	}
+}
+
+func TestParseRejectsCorruption(t *testing.T) {
+	raw, err := Build(sampleParts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte: checksum must catch it.
+	bad := make([]byte, len(raw))
+	copy(bad, raw)
+	bad[len(bad)-1] ^= 0xFF
+	if _, err := Parse(bad); err == nil {
+		t.Error("payload corruption undetected")
+	}
+	// Truncations and garbage.
+	if _, err := Parse(raw[:10]); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, err := Parse([]byte("garbage!")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Parse(nil); err == nil {
+		t.Error("nil accepted")
+	}
+}
+
+func TestPartitionLookupMissing(t *testing.T) {
+	raw, _ := Build(sampleParts())
+	img, _ := Parse(raw)
+	if _, err := img.Partition("nope"); err == nil {
+		t.Error("missing partition accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(fsbl, bits, app []byte) bool {
+		raw, err := Build([]Partition{
+			{Name: PartFSBL, Data: fsbl},
+			{Name: PartBitstream, Data: bits},
+			{Name: PartApp, Data: app},
+		})
+		if err != nil {
+			return false
+		}
+		img, err := Parse(raw)
+		if err != nil {
+			return false
+		}
+		got, err := img.Partition(PartBitstream)
+		if err != nil || len(got) != len(bits) {
+			return false
+		}
+		for i := range bits {
+			if got[i] != bits[i] {
+				return false
+			}
+		}
+		return img.TotalBytes() == len(fsbl)+len(bits)+len(app)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,197 @@
+package clock
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestDomainBasics(t *testing.T) {
+	d := NewDomain("icap", 100*sim.MHz)
+	if d.Name() != "icap" {
+		t.Errorf("Name = %q", d.Name())
+	}
+	if d.Freq() != 100*sim.MHz {
+		t.Errorf("Freq = %v", d.Freq())
+	}
+	if d.Period() != 10*sim.Nanosecond {
+		t.Errorf("Period = %v", d.Period())
+	}
+	if d.Cycles(10) != 100*sim.Nanosecond {
+		t.Errorf("Cycles(10) = %v", d.Cycles(10))
+	}
+}
+
+func TestDomainSetFreqNotifies(t *testing.T) {
+	d := NewDomain("x", 100*sim.MHz)
+	var got []sim.Hz
+	d.OnChange(func(f sim.Hz) { got = append(got, f) })
+	d.SetFreq(200 * sim.MHz)
+	d.SetFreq(280 * sim.MHz)
+	if len(got) != 2 || got[0] != 200*sim.MHz || got[1] != 280*sim.MHz {
+		t.Errorf("notifications = %v", got)
+	}
+}
+
+func TestDomainRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDomain("bad", 0)
+}
+
+func TestManagerOutputs(t *testing.T) {
+	m := NewManager(100*sim.MHz, "clk1", "clk2", "clk3", "clk4", "clk5")
+	names := m.Names()
+	if len(names) != 5 || names[0] != "clk1" || names[4] != "clk5" {
+		t.Errorf("Names = %v", names)
+	}
+	if m.Domain("clk3") == nil {
+		t.Error("clk3 missing")
+	}
+	if m.Domain("nope") != nil {
+		t.Error("unexpected domain")
+	}
+	// Independence: changing clk1 must not affect clk2.
+	m.Domain("clk1").SetFreq(250 * sim.MHz)
+	if m.Domain("clk2").Freq() != 100*sim.MHz {
+		t.Error("clk2 frequency changed with clk1")
+	}
+}
+
+func TestSolvePaperFrequencies(t *testing.T) {
+	// Every frequency exercised by the paper must be reachable from the
+	// 100 MHz FCLK within 0.5%.
+	for _, mhz := range []float64{100, 140, 180, 200, 240, 280, 310, 320, 360} {
+		target := sim.Hz(mhz * 1e6)
+		s, err := Solve(100*sim.MHz, target)
+		if err != nil {
+			t.Fatalf("Solve(100MHz, %v MHz): %v", mhz, err)
+		}
+		vco := s.VCO(100 * sim.MHz)
+		if vco < VCOMin || vco > VCOMax {
+			t.Errorf("%v MHz: VCO %v outside [%v,%v]", mhz, vco, VCOMin, VCOMax)
+		}
+		got := s.Output(100 * sim.MHz)
+		rel := math.Abs(float64(got)-float64(target)) / float64(target)
+		if rel > 0.005 {
+			t.Errorf("%v MHz: achieved %v (error %.3f%%)", mhz, got, rel*100)
+		}
+	}
+}
+
+func TestSolveExactCases(t *testing.T) {
+	tests := []struct {
+		target sim.Hz
+	}{
+		{200 * sim.MHz}, // e.g. M=12 D=1 O=6 → VCO 1200, out 200
+		{100 * sim.MHz},
+		{550 * sim.MHz}, // the Sec.-VI SRAM clock
+	}
+	for _, tt := range tests {
+		s, err := Solve(100*sim.MHz, tt.target)
+		if err != nil {
+			t.Fatalf("Solve(%v): %v", tt.target, err)
+		}
+		if got := s.Output(100 * sim.MHz); math.Abs(float64(got-tt.target)) > 1 {
+			t.Errorf("Solve(%v) output = %v (%v)", tt.target, got, s)
+		}
+	}
+}
+
+func TestSolveUnreachable(t *testing.T) {
+	if _, err := Solve(100*sim.MHz, 5*sim.GHz); err == nil {
+		t.Error("5 GHz should be unreachable")
+	}
+	if _, err := Solve(100*sim.MHz, 0); err == nil {
+		t.Error("zero target should error")
+	}
+}
+
+func TestSolveVCOConstraintProperty(t *testing.T) {
+	// Property: any solution returned keeps the VCO inside its legal range
+	// and achieves the target within 0.5%.
+	prop := func(raw uint16) bool {
+		mhz := float64(80 + raw%520) // 80..599 MHz
+		target := sim.Hz(mhz * 1e6)
+		s, err := Solve(100*sim.MHz, target)
+		if err != nil {
+			return true // unreachable is acceptable; correctness is about returned solutions
+		}
+		vco := s.VCO(100 * sim.MHz)
+		if vco < VCOMin || vco > VCOMax {
+			return false
+		}
+		rel := math.Abs(float64(s.Output(100*sim.MHz))-float64(target)) / float64(target)
+		return rel <= 0.005
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWizardSetRateTakesLockTime(t *testing.T) {
+	k := sim.NewKernel()
+	out := NewDomain("icap", 100*sim.MHz)
+	w, err := NewWizard(k, 100*sim.MHz, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lockedAt sim.Time
+	var achieved sim.Hz
+	actual, err := w.SetRate(200*sim.MHz, func(f sim.Hz) {
+		lockedAt = k.Now()
+		achieved = f
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Locked() {
+		t.Error("wizard should be unlocked during re-programming")
+	}
+	if out.Freq() != 100*sim.MHz {
+		t.Error("output changed before lock")
+	}
+	k.Run()
+	if !w.Locked() {
+		t.Error("wizard should re-lock")
+	}
+	if lockedAt != sim.Time(LockTime) {
+		t.Errorf("locked at %v, want %v", lockedAt, sim.Time(LockTime))
+	}
+	if achieved != actual {
+		t.Errorf("callback freq %v != returned %v", achieved, actual)
+	}
+	if math.Abs(float64(out.Freq())-200e6) > 1e6*0.005*200 {
+		t.Errorf("output = %v, want ≈200MHz", out.Freq())
+	}
+	if w.Relocks() != 1 {
+		t.Errorf("Relocks = %d, want 1", w.Relocks())
+	}
+}
+
+func TestWizardRejectsUnreachable(t *testing.T) {
+	k := sim.NewKernel()
+	out := NewDomain("icap", 100*sim.MHz)
+	w, err := NewWizard(k, 100*sim.MHz, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.SetRate(9*sim.GHz, nil); err == nil {
+		t.Error("expected error for unreachable rate")
+	}
+	if out.Freq() != 100*sim.MHz {
+		t.Error("output must be unchanged after failed SetRate")
+	}
+}
+
+func TestSettingsString(t *testing.T) {
+	s := Settings{Mult: 12, Div: 1, OutDiv: 6}
+	if got := s.String(); got != "M=12.000 D=1 O=6.000" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,105 @@
+// Package clock models the clocking resources of the Zynq-7000 PL used by
+// the paper: programmable clock domains, the Xilinx Clock Wizard (an MMCM
+// behind an AXI-Lite reconfiguration interface) and the multi-output "Clock
+// Manager" of the paper's acceleration framework (Fig. 1), which gives every
+// reconfigurable partition its own clock.
+package clock
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Domain is a named clock domain whose frequency can change at run time
+// (the over-clocking experiments re-program it between transfers).
+//
+// Hardware models sample the frequency when they schedule work, so a
+// frequency change takes effect at the next scheduling point — matching real
+// hardware, where in-flight bursts complete on the old clock edge timing.
+type Domain struct {
+	name string
+
+	mu        sync.Mutex
+	freq      sim.Hz
+	listeners []func(sim.Hz)
+}
+
+// NewDomain creates a clock domain at the given initial frequency.
+func NewDomain(name string, freq sim.Hz) *Domain {
+	if freq <= 0 {
+		panic(fmt.Sprintf("clock: non-positive frequency for domain %q", name))
+	}
+	return &Domain{name: name, freq: freq}
+}
+
+// Name returns the domain name.
+func (d *Domain) Name() string { return d.name }
+
+// Freq returns the current frequency.
+func (d *Domain) Freq() sim.Hz {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.freq
+}
+
+// Period returns the current clock period.
+func (d *Domain) Period() sim.Duration { return d.Freq().Period() }
+
+// Cycles returns the duration of n cycles at the current frequency.
+func (d *Domain) Cycles(n int64) sim.Duration { return sim.Cycles(n, d.Freq()) }
+
+// SetFreq changes the domain frequency and notifies listeners.
+func (d *Domain) SetFreq(f sim.Hz) {
+	if f <= 0 {
+		panic(fmt.Sprintf("clock: non-positive frequency for domain %q", d.name))
+	}
+	d.mu.Lock()
+	d.freq = f
+	ls := make([]func(sim.Hz), len(d.listeners))
+	copy(ls, d.listeners)
+	d.mu.Unlock()
+	for _, fn := range ls {
+		fn(f)
+	}
+}
+
+// OnChange registers a callback invoked (synchronously) after every
+// frequency change. Used by the power model to track dynamic power.
+func (d *Domain) OnChange(fn func(sim.Hz)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.listeners = append(d.listeners, fn)
+}
+
+// Manager is the paper's "Clock Manager": a bank of independently
+// programmable clock outputs (CLK 1–5 in Fig. 1) so each reconfigurable
+// partition can run at the frequency its ASP timing closure allows.
+type Manager struct {
+	domains map[string]*Domain
+}
+
+// NewManager creates a manager with the given named outputs, all starting at
+// the nominal frequency.
+func NewManager(nominal sim.Hz, names ...string) *Manager {
+	m := &Manager{domains: make(map[string]*Domain, len(names))}
+	for _, n := range names {
+		m.domains[n] = NewDomain(n, nominal)
+	}
+	return m
+}
+
+// Domain returns the named output, or nil if it does not exist.
+func (m *Manager) Domain(name string) *Domain { return m.domains[name] }
+
+// Names returns the sorted output names.
+func (m *Manager) Names() []string {
+	out := make([]string, 0, len(m.domains))
+	for n := range m.domains {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,168 @@
+package clock
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// MMCM parameter limits for a 7-series device of the Zynq-7020 class
+// (speed grade -1). The Clock Wizard searches this space.
+const (
+	// VCO operating range.
+	VCOMin sim.Hz = 600 * sim.MHz
+	VCOMax sim.Hz = 1200 * sim.MHz
+	// Multiplier M (CLKFBOUT_MULT), divider D (DIVCLK_DIVIDE) and output
+	// divider O (CLKOUT_DIVIDE). Real hardware allows fractional M and O in
+	// 0.125 steps on CLKOUT0; we model the integer grid plus eighth steps
+	// for M, which is what the Wizard uses to hit targets like 310 MHz.
+	MultMin, MultMax     = 2.0, 64.0
+	DivMin, DivMax       = 1, 106
+	OutDivMin, OutDivMax = 1.0, 128.0
+	// MultStep is the fractional-divide granularity.
+	MultStep = 0.125
+	// MaxPFD is the maximum phase-frequency-detector input (Fin/D).
+	MaxPFD sim.Hz = 550 * sim.MHz
+	// MinPFD is the minimum PFD input.
+	MinPFD sim.Hz = 10 * sim.MHz
+)
+
+// LockTime is the worst-case MMCM lock time after re-programming. Every
+// frequency change through the Wizard costs this much simulated time, which
+// is why the paper sets the frequency once per experiment rather than
+// per transfer.
+const LockTime = 100 * sim.Microsecond
+
+// Settings is one feasible MMCM configuration.
+type Settings struct {
+	Mult   float64 // CLKFBOUT_MULT (M)
+	Div    int     // DIVCLK_DIVIDE (D)
+	OutDiv float64 // CLKOUT_DIVIDE (O)
+}
+
+// VCO returns the VCO frequency for input fin.
+func (s Settings) VCO(fin sim.Hz) sim.Hz {
+	return sim.Hz(float64(fin) * s.Mult / float64(s.Div))
+}
+
+// Output returns the output frequency for input fin.
+func (s Settings) Output(fin sim.Hz) sim.Hz {
+	return sim.Hz(float64(fin) * s.Mult / (float64(s.Div) * s.OutDiv))
+}
+
+func (s Settings) String() string {
+	return fmt.Sprintf("M=%.3f D=%d O=%.3f", s.Mult, s.Div, s.OutDiv)
+}
+
+// ErrUnreachable reports that no MMCM setting can produce the requested
+// frequency within tolerance.
+var ErrUnreachable = errors.New("clock: requested frequency unreachable by MMCM")
+
+// Solve finds the MMCM settings whose output is closest to target given
+// input fin. It returns ErrUnreachable when the best achievable error
+// exceeds 0.5%.
+func Solve(fin, target sim.Hz) (Settings, error) {
+	if target <= 0 || fin <= 0 {
+		return Settings{}, fmt.Errorf("clock: non-positive frequency (fin=%v target=%v)", fin, target)
+	}
+	best := Settings{}
+	bestErr := math.Inf(1)
+	for d := DivMin; d <= DivMax; d++ {
+		pfd := sim.Hz(float64(fin) / float64(d))
+		if pfd > MaxPFD || pfd < MinPFD {
+			continue
+		}
+		for m := MultMin; m <= MultMax; m += MultStep {
+			vco := sim.Hz(float64(fin) * m / float64(d))
+			if vco < VCOMin || vco > VCOMax {
+				continue
+			}
+			// Ideal output divider, snapped to the grid.
+			ideal := float64(vco) / float64(target)
+			for _, o := range snapOutDiv(ideal) {
+				if o < OutDivMin || o > OutDivMax {
+					continue
+				}
+				out := float64(vco) / o
+				relErr := math.Abs(out-float64(target)) / float64(target)
+				if relErr < bestErr {
+					bestErr = relErr
+					best = Settings{Mult: m, Div: d, OutDiv: o}
+				}
+			}
+		}
+	}
+	if math.IsInf(bestErr, 1) || bestErr > 0.005 {
+		return best, fmt.Errorf("%w: %v from %v (best error %.3f%%)",
+			ErrUnreachable, target, fin, bestErr*100)
+	}
+	return best, nil
+}
+
+// snapOutDiv returns candidate output dividers around the ideal value on the
+// 0.125 fractional grid (CLKOUT0 supports eighth steps).
+func snapOutDiv(ideal float64) []float64 {
+	lo := math.Floor(ideal*8) / 8
+	return []float64{lo, lo + MultStep}
+}
+
+// Wizard models the Xilinx Clock Wizard IP: an MMCM whose output divider is
+// re-programmed over AXI-Lite at run time. SetRate blocks simulated time for
+// the MMCM lock period.
+type Wizard struct {
+	kernel *sim.Kernel
+	fin    sim.Hz
+	out    *Domain
+
+	settings Settings
+	locked   bool
+	relocks  int
+}
+
+// NewWizard creates a Clock Wizard fed by fin and driving the given output
+// domain at its current frequency (assumed already locked at construction,
+// as after FPGA configuration).
+func NewWizard(k *sim.Kernel, fin sim.Hz, out *Domain) (*Wizard, error) {
+	s, err := Solve(fin, out.Freq())
+	if err != nil {
+		return nil, fmt.Errorf("clock: initial rate: %w", err)
+	}
+	return &Wizard{kernel: k, fin: fin, out: out, settings: s, locked: true}, nil
+}
+
+// Output returns the driven domain.
+func (w *Wizard) Output() *Domain { return w.out }
+
+// Settings returns the current MMCM configuration.
+func (w *Wizard) Settings() Settings { return w.settings }
+
+// Locked reports whether the MMCM is locked (false during re-programming).
+func (w *Wizard) Locked() bool { return w.locked }
+
+// Relocks returns how many times the wizard has been re-programmed.
+func (w *Wizard) Relocks() int { return w.relocks }
+
+// SetRate re-programs the MMCM for the target frequency. The callback fires
+// after the lock time with the exact achieved frequency; the output domain is
+// updated at lock. It returns the achieved frequency immediately for
+// convenience (it is exact, not an estimate).
+func (w *Wizard) SetRate(target sim.Hz, done func(actual sim.Hz)) (sim.Hz, error) {
+	s, err := Solve(w.fin, target)
+	if err != nil {
+		return 0, err
+	}
+	actual := s.Output(w.fin)
+	w.locked = false
+	w.relocks++
+	w.kernel.Schedule(LockTime, func() {
+		w.settings = s
+		w.out.SetFreq(actual)
+		w.locked = true
+		if done != nil {
+			done(actual)
+		}
+	})
+	return actual, nil
+}

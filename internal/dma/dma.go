@@ -1,0 +1,213 @@
+// Package dma models the Xilinx AXI DMA used by the paper: a scatter-gather
+// engine whose MM2S channel pulls the partial bitstream from DDR through the
+// HP port and streams it into the ICAP across a clock-domain-crossing FIFO.
+//
+// The engine is deliberately faithful to the saturation behaviour the paper
+// measures: its memory side is paced by the DRAM/HP-port slot rate plus one
+// CDC handshake per burst in the over-clocked domain, while its stream side
+// is paced by the ICAP's one-word-per-cycle consumption. Below ~200 MHz the
+// stream side is the bottleneck (throughput = 4·f MB/s); above it the memory
+// side saturates at ≈790 MB/s — Table I's knee.
+package dma
+
+import (
+	"fmt"
+
+	"repro/internal/axi"
+	"repro/internal/clock"
+	"repro/internal/dram"
+	"repro/internal/sim"
+)
+
+// Tunables calibrated against Table I (see DESIGN.md §2).
+const (
+	// BurstBytes is the MM2S burst size (16 beats × 64 bits).
+	BurstBytes = 128
+	// burstWords is BurstBytes in 32-bit stream words.
+	burstWords = BurstBytes / 4
+	// programWrites is how many AXI-Lite register writes arm a transfer
+	// (control, current-descriptor, tail-descriptor, IRQ enable, …).
+	programWrites = 6
+	// descriptorBytes is the SG descriptor fetch size.
+	descriptorBytes = 64
+	// descriptorDecode is the engine's descriptor-processing time.
+	descriptorDecode = 200 * sim.Nanosecond
+	// irqAssert is the delay from last-beat acceptance to the MM2S
+	// completion interrupt.
+	irqAssert = 200 * sim.Nanosecond
+	// FIFOBytes is the CDC stream FIFO depth.
+	FIFOBytes = 512
+)
+
+// Sink consumes the stream side of the DMA (the ICAP in this system).
+type Sink interface {
+	// Feed delivers a burst; done fires when the burst has been clocked in.
+	Feed(words []uint32, done func())
+}
+
+// Result summarises a completed transfer.
+type Result struct {
+	// Bytes is the payload moved (stream words × 4).
+	Bytes int
+	// Bursts is the number of memory bursts issued.
+	Bursts int
+	// Start is when Transfer was called; Done when the completion
+	// interrupt would assert.
+	Start, Done sim.Time
+}
+
+// Duration returns the transfer's wall time.
+func (r Result) Duration() sim.Duration { return r.Done.Sub(r.Start) }
+
+// Config bundles Engine dependencies.
+type Config struct {
+	Kernel *sim.Kernel
+	Bus    *axi.LiteBus
+	DRAM   *dram.Controller
+	// Domain is the stream-side clock (the over-clocked one); the CDC
+	// handshake is paid in this domain.
+	Domain *clock.Domain
+	// IRQGate reports whether the completion interrupt can reach the PS;
+	// nil means always. The platform wires it to the timing model so that
+	// control-path violations lose the interrupt (Table I's hang rows).
+	IRQGate func() bool
+}
+
+// Engine is one AXI DMA instance (MM2S channel).
+type Engine struct {
+	kernel *sim.Kernel
+	bus    *axi.LiteBus
+	mem    *dram.Controller
+	domain *clock.Domain
+	gate   func() bool
+	fifo   *axi.StreamFIFO
+	master int
+
+	busy      bool
+	completed bool
+	last      Result
+
+	// cursor state of the in-flight transfer
+	words  []uint32
+	offset int
+	bursts int
+	sink   Sink
+	done   func(Result)
+	start  sim.Time
+}
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	if cfg.Kernel == nil || cfg.Bus == nil || cfg.DRAM == nil || cfg.Domain == nil {
+		panic("dma: missing dependency")
+	}
+	gate := cfg.IRQGate
+	if gate == nil {
+		gate = func() bool { return true }
+	}
+	return &Engine{
+		kernel: cfg.Kernel,
+		bus:    cfg.Bus,
+		mem:    cfg.DRAM,
+		domain: cfg.Domain,
+		gate:   gate,
+		fifo:   axi.NewStreamFIFO(FIFOBytes),
+		master: cfg.DRAM.RegisterMaster(),
+	}
+}
+
+// Busy reports whether a transfer is in flight.
+func (e *Engine) Busy() bool { return e.busy }
+
+// Completed reports whether the last transfer's data fully drained
+// (independent of whether the interrupt was delivered) — the test oracle for
+// hang mode.
+func (e *Engine) Completed() bool { return e.completed }
+
+// Last returns the last transfer's result (valid once Completed).
+func (e *Engine) Last() Result { return e.last }
+
+// Transfer streams words into sink. done fires at completion-interrupt time
+// and is *suppressed* when the IRQ gate is closed — exactly like hardware,
+// where the caller's only recourse is a timeout. It returns an error if the
+// engine is busy.
+func (e *Engine) Transfer(words []uint32, sink Sink, done func(Result)) error {
+	if e.busy {
+		return fmt.Errorf("dma: engine busy")
+	}
+	if len(words) == 0 {
+		return fmt.Errorf("dma: empty transfer")
+	}
+	e.busy = true
+	e.completed = false
+	e.words = words
+	e.offset = 0
+	e.bursts = 0
+	e.sink = sink
+	e.done = done
+	e.start = e.kernel.Now()
+
+	// 1. The PS programs the engine over AXI-Lite.
+	e.bus.WriteN(programWrites, func() {
+		// 2. The engine fetches its SG descriptor from DDR.
+		e.mem.Request(e.master, descriptorBytes, func() {
+			e.kernel.Schedule(descriptorDecode, e.issue)
+		})
+	})
+	return nil
+}
+
+// issue launches the next memory burst; it self-paces on the CDC handshake.
+func (e *Engine) issue() {
+	if e.offset >= len(e.words) {
+		return
+	}
+	n := burstWords
+	if rem := len(e.words) - e.offset; n > rem {
+		n = rem
+	}
+	burst := e.words[e.offset : e.offset+n]
+	e.offset += n
+	e.bursts++
+	bytes := n * 4
+	isLast := e.offset >= len(e.words)
+
+	e.fifo.WhenFree(bytes, func() {
+		e.mem.Request(e.master, bytes, func() {
+			// The burst crosses into the over-clocked domain.
+			e.kernel.Schedule(axi.CDCDelay(e.domain.Freq()), func() {
+				e.fifo.Commit(bytes)
+				e.sink.Feed(burst, func() {
+					e.fifo.Release(bytes)
+					if isLast {
+						e.finish()
+					}
+				})
+				// The next burst issues once this one's handshake retired.
+				if !isLast {
+					e.issue()
+				}
+			})
+		})
+	})
+}
+
+// finish retires the transfer and (gate permitting) delivers the IRQ.
+func (e *Engine) finish() {
+	e.kernel.Schedule(irqAssert, func() {
+		e.busy = false
+		e.completed = true
+		e.last = Result{
+			Bytes:  len(e.words) * 4,
+			Bursts: e.bursts,
+			Start:  e.start,
+			Done:   e.kernel.Now(),
+		}
+		e.words = nil
+		e.sink = nil
+		if e.gate() && e.done != nil {
+			e.done(e.last)
+		}
+		e.done = nil
+	})
+}

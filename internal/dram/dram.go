@@ -1,0 +1,169 @@
+// Package dram models the path from the DDR3 system memory through the Zynq
+// HP port to a PL master: a shared, arbitrated burst server with periodic
+// refresh stalls. Its sustained rate is what caps the paper's throughput
+// above the 200 MHz knee (the "Memory Port → AXI Interconnect → AXI DMA"
+// bottleneck of Sec. VI).
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Params describe the burst server.
+type Params struct {
+	// PortBytesPerSec is the sustained HP-port slot rate before refresh
+	// losses. Calibrated to 824 MB/s: a 64-bit port at ~103 MHz effective
+	// beat rate after interconnect arbitration overhead.
+	PortBytesPerSec float64
+	// RefreshInterval is the DDR3 tREFI.
+	RefreshInterval sim.Duration
+	// RefreshStall is the effective per-refresh stall seen by the port
+	// (a fraction of tRFC, since the controller reorders around refresh).
+	RefreshStall sim.Duration
+}
+
+// DefaultParams returns the ZedBoard-calibrated path parameters: together
+// they sustain ≈813 MB/s, which with the CDC handshake reproduces the
+// 786–790 MB/s plateau of Table I.
+func DefaultParams() Params {
+	return Params{
+		PortBytesPerSec: 824e6,
+		RefreshInterval: sim.FromMicroseconds(7.8),
+		RefreshStall:    97 * sim.Nanosecond,
+	}
+}
+
+// Request is one queued burst.
+type request struct {
+	bytes int
+	fn    func()
+}
+
+// Controller serves burst requests from multiple masters with round-robin
+// arbitration and refresh stalls.
+type Controller struct {
+	kernel *sim.Kernel
+	params Params
+
+	queues    map[int][]request
+	order     []int // master ids in registration order
+	rrNext    int
+	busy      bool
+	nextFree  sim.Time
+	refreshAt sim.Time // next unaccounted refresh boundary
+
+	bytesServed uint64
+	refreshes   uint64
+	grants      uint64
+}
+
+// NewController creates the controller. Refresh is accounted lazily at grant
+// time (refreshes that land while the port is idle are free, as a real
+// controller hides them), so an idle controller schedules no events.
+func NewController(k *sim.Kernel, p Params) *Controller {
+	if p.PortBytesPerSec <= 0 {
+		panic("dram: non-positive port rate")
+	}
+	c := &Controller{kernel: k, params: p, queues: make(map[int][]request)}
+	if p.RefreshInterval > 0 {
+		c.refreshAt = sim.Time(p.RefreshInterval)
+	}
+	return c
+}
+
+// Params returns the controller parameters.
+func (c *Controller) Params() Params { return c.params }
+
+// RegisterMaster allocates a master id for arbitration.
+func (c *Controller) RegisterMaster() int {
+	id := len(c.order)
+	c.order = append(c.order, id)
+	c.queues[id] = nil
+	return id
+}
+
+// Request enqueues a burst of the given size for the master; fn runs when
+// the last byte has crossed the port.
+func (c *Controller) Request(master, bytes int, fn func()) {
+	if bytes <= 0 {
+		panic(fmt.Sprintf("dram: non-positive burst %d", bytes))
+	}
+	if _, ok := c.queues[master]; !ok {
+		panic(fmt.Sprintf("dram: unknown master %d", master))
+	}
+	c.queues[master] = append(c.queues[master], request{bytes: bytes, fn: fn})
+	c.pump()
+}
+
+// pump grants the next queued burst if the port is idle.
+func (c *Controller) pump() {
+	if c.busy {
+		return
+	}
+	req, ok := c.nextRequest()
+	if !ok {
+		return
+	}
+	c.busy = true
+	start := c.kernel.Now()
+	if c.nextFree > start {
+		start = c.nextFree
+	}
+	hasRefresh := c.params.RefreshInterval > 0 && c.params.RefreshStall > 0
+	if hasRefresh {
+		// Refresh boundaries that passed while the port was idle cost
+		// nothing: skip them.
+		for c.refreshAt <= start {
+			c.refreshAt = c.refreshAt.Add(sim.Duration(c.params.RefreshInterval))
+		}
+	}
+	slot := sim.FromSeconds(float64(req.bytes) / c.params.PortBytesPerSec)
+	end := start.Add(slot)
+	if hasRefresh {
+		// Boundaries landing inside the grant stall the port.
+		for c.refreshAt <= end {
+			end = end.Add(c.params.RefreshStall)
+			c.refreshAt = c.refreshAt.Add(sim.Duration(c.params.RefreshInterval))
+			c.refreshes++
+		}
+	}
+	c.nextFree = end
+	c.bytesServed += uint64(req.bytes)
+	c.grants++
+	c.kernel.At(end, func() {
+		c.busy = false
+		req.fn()
+		c.pump()
+	})
+}
+
+// nextRequest pops the next burst in round-robin master order.
+func (c *Controller) nextRequest() (request, bool) {
+	n := len(c.order)
+	for i := 0; i < n; i++ {
+		id := c.order[(c.rrNext+i)%n]
+		q := c.queues[id]
+		if len(q) > 0 {
+			c.queues[id] = q[1:]
+			c.rrNext = (c.rrNext + i + 1) % n
+			return q[0], true
+		}
+	}
+	return request{}, false
+}
+
+// Stats returns served bytes, grant count and refresh count.
+func (c *Controller) Stats() (bytes, grants, refreshes uint64) {
+	return c.bytesServed, c.grants, c.refreshes
+}
+
+// EffectiveRate returns the refresh-derated sustained rate in bytes/s.
+func (c *Controller) EffectiveRate() float64 {
+	if c.params.RefreshInterval <= 0 {
+		return c.params.PortBytesPerSec
+	}
+	duty := 1 - float64(c.params.RefreshStall)/float64(c.params.RefreshInterval)
+	return c.params.PortBytesPerSec * duty
+}

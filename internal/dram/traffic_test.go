@@ -1,0 +1,88 @@
+package dram
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTrafficHitsTargetRate(t *testing.T) {
+	k := sim.NewKernel()
+	c := NewController(k, DefaultParams())
+	g := NewTraffic(k, c, 200) // 200 MB/s, well under the port
+	g.Start()
+	k.RunFor(10 * sim.Millisecond)
+	g.Stop()
+	rate := float64(g.BytesMoved()) / 0.010 / 1e6
+	if math.Abs(rate-200) > 4 {
+		t.Errorf("rate = %.1f MB/s, want ≈200", rate)
+	}
+}
+
+func TestTrafficBacksOffAtSaturation(t *testing.T) {
+	k := sim.NewKernel()
+	c := NewController(k, DefaultParams())
+	g := NewTraffic(k, c, 5000) // impossible target
+	g.Start()
+	k.RunFor(10 * sim.Millisecond)
+	g.Stop()
+	rate := float64(g.BytesMoved()) / 0.010 / 1e6
+	eff := c.EffectiveRate() / 1e6
+	if rate > eff*1.01 {
+		t.Errorf("rate %.1f exceeds port capability %.1f", rate, eff)
+	}
+	if rate < eff*0.95 {
+		t.Errorf("saturated generator should fill the port: %.1f vs %.1f", rate, eff)
+	}
+}
+
+func TestTrafficStopHalts(t *testing.T) {
+	k := sim.NewKernel()
+	c := NewController(k, DefaultParams())
+	g := NewTraffic(k, c, 100)
+	g.Start()
+	k.RunFor(sim.Millisecond)
+	g.Stop()
+	moved := g.BytesMoved()
+	k.RunFor(5 * sim.Millisecond)
+	if g.BytesMoved() > moved+128 {
+		t.Error("traffic continued after Stop")
+	}
+	if g.Running() {
+		t.Error("Running after Stop")
+	}
+}
+
+func TestTrafficZeroRateNoop(t *testing.T) {
+	k := sim.NewKernel()
+	c := NewController(k, DefaultParams())
+	g := NewTraffic(k, c, 0)
+	g.Start()
+	k.RunFor(sim.Millisecond)
+	if g.BytesMoved() != 0 {
+		t.Error("zero-rate generator moved data")
+	}
+}
+
+func TestTrafficStealsFromOtherMaster(t *testing.T) {
+	// The contention mechanism behind ablation A4: a competing generator
+	// lowers the bandwidth another master can sustain.
+	measure := func(background float64) float64 {
+		k := sim.NewKernel()
+		c := NewController(k, DefaultParams())
+		victim := NewTraffic(k, c, 1e9) // greedy: takes whatever it can
+		if background > 0 {
+			bg := NewTraffic(k, c, background)
+			bg.Start()
+		}
+		victim.Start()
+		k.RunFor(10 * sim.Millisecond)
+		return float64(victim.BytesMoved()) / 0.010 / 1e6
+	}
+	alone := measure(0)
+	contended := measure(300)
+	if contended >= alone-250 {
+		t.Errorf("300 MB/s of background traffic should cost ≈300: %v vs %v", contended, alone)
+	}
+}

@@ -1,0 +1,131 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the simulation, one runner per artefact (the experiment
+// index of DESIGN.md §4). Each runner returns a Report holding the formatted
+// rows the paper prints plus machine-readable series for the figures; the
+// pdrbench command, the root benchmarks and EXPERIMENTS.md all consume these
+// runners so the numbers in all three always agree.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitstream"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/zynq"
+)
+
+// Report is one regenerated artefact.
+type Report struct {
+	// ID is the experiment id from DESIGN.md (e.g. "E1").
+	ID string
+	// Title names the paper artefact (e.g. "Table I").
+	Title string
+	// Header and Rows are the formatted table.
+	Header []string
+	Rows   [][]string
+	// Series carries figure data (CSV-renderable).
+	Series []sim.Series
+	// Notes records paper-vs-measured commentary for EXPERIMENTS.md.
+	Notes []string
+}
+
+// Render formats the report as an aligned text table.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Env is a fresh measurement setup: platform, controller and the standard
+// 529 KB partial bitstream.
+type Env struct {
+	Platform   *zynq.Platform
+	Controller *core.Controller
+	Bitstream  *bitstream.Bitstream
+}
+
+// NewEnv builds a booted platform with the standard test bitstream (the
+// "fir128" ASP on RP1 — any ASP yields the same calibrated size).
+func NewEnv(seed uint64) (*Env, error) {
+	p, err := zynq.NewPlatform(zynq.Options{Seed: seed, FastThermal: true})
+	if err != nil {
+		return nil, err
+	}
+	p.ConfigureStatic()
+	c := core.New(p)
+	asp, err := workload.LibraryASP("fir128")
+	if err != nil {
+		return nil, err
+	}
+	bs, err := asp.Bitstream(p.Device, p.RPs[0])
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Platform: p, Controller: c, Bitstream: bs}, nil
+}
+
+// freshFrames returns a second bitstream (the paper's SD card carried two).
+func (e *Env) secondBitstream() (*bitstream.Bitstream, error) {
+	asp, err := workload.LibraryASP("sha3")
+	if err != nil {
+		return nil, err
+	}
+	return asp.Bitstream(e.Platform.Device, e.Platform.RPs[0])
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f0(v float64) string  { return fmt.Sprintf("%.0f", v) }
+func mhz(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// validity renders the paper's CRC column.
+func validity(ok bool) string {
+	if ok {
+		return "valid"
+	}
+	return "not valid"
+}
+
+// frameStd is a shared helper for building a standard-size bitstream for an
+// arbitrary region (used by SecVI and ablations).
+func buildFor(p *zynq.Platform, rp fabric.Region, name string, seed uint64) (*bitstream.Bitstream, error) {
+	asp := workload.ASP{Name: name, FillFraction: 0.55, Seed: seed}
+	return bitstream.Build(p.Device, rp, name, asp.Frames(p.Device, rp))
+}

@@ -1,0 +1,249 @@
+// Package fabric models the programmable-logic configuration plane of a
+// 7-series-class device (the Zynq-7020's Artix-7 fabric): the frame-oriented
+// configuration memory, frame addressing (FAR), reconfigurable-partition
+// regions, and frame read-back. This is the substrate the ICAP writes and
+// the CRC monitor reads.
+package fabric
+
+import (
+	"fmt"
+)
+
+// FrameWords is the size of one configuration frame in 32-bit words
+// (101 on all 7-series devices).
+const FrameWords = 101
+
+// ColumnKind categorises a fabric column by its resource type, which
+// determines how many minor frames configure it.
+type ColumnKind int
+
+const (
+	// CLB columns (logic slices): 36 minor frames.
+	CLB ColumnKind = iota + 1
+	// BRAM interconnect columns: 28 minor frames.
+	BRAM
+	// DSP columns: 28 minor frames.
+	DSP
+	// IOB/clocking columns: 42 minor frames.
+	IOB
+)
+
+// Minors returns the number of minor frames for the column kind.
+func (k ColumnKind) Minors() int {
+	switch k {
+	case CLB:
+		return 36
+	case BRAM, DSP:
+		return 28
+	case IOB:
+		return 42
+	default:
+		panic(fmt.Sprintf("fabric: unknown column kind %d", int(k)))
+	}
+}
+
+// String names the kind.
+func (k ColumnKind) String() string {
+	switch k {
+	case CLB:
+		return "CLB"
+	case BRAM:
+		return "BRAM"
+	case DSP:
+		return "DSP"
+	case IOB:
+		return "IOB"
+	default:
+		return fmt.Sprintf("ColumnKind(%d)", int(k))
+	}
+}
+
+// Device describes the configuration geometry: clock-region rows, each with
+// the same column layout.
+type Device struct {
+	// Name is the part name, e.g. "xc7z020".
+	Name string
+	// IDCode is the JTAG/configuration ID checked by the bitstream loader.
+	IDCode uint32
+	// Rows is the number of clock-region rows.
+	Rows int
+	// Columns is the per-row column layout.
+	Columns []ColumnKind
+
+	// frameBase[c] is the first frame index (within a row) of column c.
+	frameBase []int
+	// framesPerRow caches the row frame count.
+	framesPerRow int
+}
+
+// Z7020 returns the Zynq-7020-class device used by the paper's ZedBoard.
+// The layout is 3 rows of 80 columns: an IOB column at each edge and six
+// 13-column tiles of 9 CLB + 2 BRAM + 2 DSP columns in between — 2700 frames
+// per row, 8100 frames ≈ 3.3 MB of configuration data, the right scale for
+// the part (real full bitstream ≈ 4 MB). The tile pitch is chosen so a
+// 39-column reconfigurable partition holds exactly 1308 frames, which is
+// what Table I's 528,760-byte partial bitstream implies (DESIGN.md §2).
+func Z7020() *Device {
+	cols := make([]ColumnKind, 0, 80)
+	cols = append(cols, IOB)
+	for i := 0; i < 78; i++ {
+		switch i % 13 {
+		case 3, 9:
+			cols = append(cols, BRAM)
+		case 6, 12:
+			cols = append(cols, DSP)
+		default:
+			cols = append(cols, CLB)
+		}
+	}
+	cols = append(cols, IOB)
+	d := &Device{
+		Name:    "xc7z020",
+		IDCode:  0x03727093, // real 7z020 IDCODE
+		Rows:    3,
+		Columns: cols,
+	}
+	d.index()
+	return d
+}
+
+// index precomputes per-column frame offsets.
+func (d *Device) index() {
+	d.frameBase = make([]int, len(d.Columns)+1)
+	sum := 0
+	for i, k := range d.Columns {
+		d.frameBase[i] = sum
+		sum += k.Minors()
+	}
+	d.frameBase[len(d.Columns)] = sum
+	d.framesPerRow = sum
+}
+
+// FramesPerRow returns the number of frames configuring one row.
+func (d *Device) FramesPerRow() int { return d.framesPerRow }
+
+// TotalFrames returns the number of frames on the device.
+func (d *Device) TotalFrames() int { return d.framesPerRow * d.Rows }
+
+// ConfigBytes returns the raw size of the full configuration data.
+func (d *Device) ConfigBytes() int { return d.TotalFrames() * FrameWords * 4 }
+
+// FrameAddr is the decomposed frame address (the FAR register fields).
+type FrameAddr struct {
+	Row    int
+	Column int
+	Minor  int
+}
+
+// FAR packs the address into the register encoding used by our bitstreams:
+// [23:16] row, [15:8] column, [7:0] minor.
+func (a FrameAddr) FAR() uint32 {
+	return uint32(a.Row)<<16 | uint32(a.Column)<<8 | uint32(a.Minor)
+}
+
+// DecodeFAR unpacks a FAR register value.
+func DecodeFAR(v uint32) FrameAddr {
+	return FrameAddr{
+		Row:    int(v >> 16 & 0xFF),
+		Column: int(v >> 8 & 0xFF),
+		Minor:  int(v & 0xFF),
+	}
+}
+
+// Linear returns the flat frame index for an address, or an error for
+// out-of-range fields.
+func (d *Device) Linear(a FrameAddr) (int, error) {
+	if a.Row < 0 || a.Row >= d.Rows {
+		return 0, fmt.Errorf("fabric: row %d out of range [0,%d)", a.Row, d.Rows)
+	}
+	if a.Column < 0 || a.Column >= len(d.Columns) {
+		return 0, fmt.Errorf("fabric: column %d out of range [0,%d)", a.Column, len(d.Columns))
+	}
+	if a.Minor < 0 || a.Minor >= d.Columns[a.Column].Minors() {
+		return 0, fmt.Errorf("fabric: minor %d out of range for %v column", a.Minor, d.Columns[a.Column])
+	}
+	return a.Row*d.framesPerRow + d.frameBase[a.Column] + a.Minor, nil
+}
+
+// Addr inverts Linear.
+func (d *Device) Addr(linear int) (FrameAddr, error) {
+	if linear < 0 || linear >= d.TotalFrames() {
+		return FrameAddr{}, fmt.Errorf("fabric: frame %d out of range [0,%d)", linear, d.TotalFrames())
+	}
+	row := linear / d.framesPerRow
+	rem := linear % d.framesPerRow
+	// Binary search would be fine; the column count is small enough to scan.
+	for c := 0; c < len(d.Columns); c++ {
+		if rem < d.frameBase[c+1] {
+			return FrameAddr{Row: row, Column: c, Minor: rem - d.frameBase[c]}, nil
+		}
+	}
+	panic("fabric: index tables corrupted")
+}
+
+// Next returns the address of the frame after a in configuration order
+// (minor, then column, then row), mirroring the hardware FAR auto-increment.
+func (d *Device) Next(a FrameAddr) (FrameAddr, error) {
+	lin, err := d.Linear(a)
+	if err != nil {
+		return FrameAddr{}, err
+	}
+	if lin+1 >= d.TotalFrames() {
+		return FrameAddr{}, fmt.Errorf("fabric: FAR increment past end of device")
+	}
+	return d.Addr(lin + 1)
+}
+
+// Region is a rectangular reconfigurable partition: a contiguous span of
+// columns within one clock-region row, the granularity 7-series partial
+// reconfiguration actually supports.
+type Region struct {
+	Name     string
+	Row      int
+	ColStart int // inclusive
+	ColEnd   int // exclusive
+}
+
+// Frames returns the number of frames configuring the region.
+func (d *Device) RegionFrames(r Region) int {
+	n := 0
+	for c := r.ColStart; c < r.ColEnd; c++ {
+		n += d.Columns[c].Minors()
+	}
+	return n
+}
+
+// RegionStart returns the first frame address of the region.
+func (r Region) RegionStart() FrameAddr {
+	return FrameAddr{Row: r.Row, Column: r.ColStart, Minor: 0}
+}
+
+// Validate checks the region against the device geometry.
+func (d *Device) Validate(r Region) error {
+	if r.Row < 0 || r.Row >= d.Rows {
+		return fmt.Errorf("fabric: region %q row %d out of range", r.Name, r.Row)
+	}
+	if r.ColStart < 0 || r.ColEnd > len(d.Columns) || r.ColStart >= r.ColEnd {
+		return fmt.Errorf("fabric: region %q columns [%d,%d) invalid", r.Name, r.ColStart, r.ColEnd)
+	}
+	return nil
+}
+
+// Contains reports whether the frame address lies inside the region.
+func (d *Device) Contains(r Region, a FrameAddr) bool {
+	return a.Row == r.Row && a.Column >= r.ColStart && a.Column < r.ColEnd
+}
+
+// StandardRPs returns the four reconfigurable partitions of the paper's
+// acceleration framework (Fig. 1, RP 1–4). Each spans 39 columns — 27 CLB,
+// 6 BRAM and 6 DSP — for exactly 1308 frames, which together with the
+// command overhead makes the 528,760-byte partial bitstream implied by
+// Table I (see DESIGN.md §2). Tests assert the frame count.
+func StandardRPs(d *Device) []Region {
+	return []Region{
+		{Name: "RP1", Row: 0, ColStart: 1, ColEnd: 40},
+		{Name: "RP2", Row: 1, ColStart: 1, ColEnd: 40},
+		{Name: "RP3", Row: 2, ColStart: 1, ColEnd: 40},
+		{Name: "RP4", Row: 0, ColStart: 40, ColEnd: 79},
+	}
+}

@@ -1,0 +1,123 @@
+package fabric
+
+import (
+	"fmt"
+)
+
+// Memory is the device's configuration memory: one FrameWords-word slot per
+// frame. The ICAP writes it, the CRC monitor and read-back path read it.
+type Memory struct {
+	dev    *Device
+	frames [][]uint32
+	writes uint64
+	reads  uint64
+}
+
+// NewMemory allocates zeroed configuration memory for the device (the
+// power-up state of an unconfigured FPGA).
+func NewMemory(dev *Device) *Memory {
+	frames := make([][]uint32, dev.TotalFrames())
+	backing := make([]uint32, dev.TotalFrames()*FrameWords)
+	for i := range frames {
+		frames[i], backing = backing[:FrameWords:FrameWords], backing[FrameWords:]
+	}
+	return &Memory{dev: dev, frames: frames}
+}
+
+// Device returns the geometry this memory belongs to.
+func (m *Memory) Device() *Device { return m.dev }
+
+// WriteFrame stores one frame at the given address.
+func (m *Memory) WriteFrame(a FrameAddr, words []uint32) error {
+	if len(words) != FrameWords {
+		return fmt.Errorf("fabric: frame write of %d words, want %d", len(words), FrameWords)
+	}
+	lin, err := m.dev.Linear(a)
+	if err != nil {
+		return err
+	}
+	copy(m.frames[lin], words)
+	m.writes++
+	return nil
+}
+
+// ReadFrame copies one frame out of configuration memory.
+func (m *Memory) ReadFrame(a FrameAddr) ([]uint32, error) {
+	lin, err := m.dev.Linear(a)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint32, FrameWords)
+	copy(out, m.frames[lin])
+	m.reads++
+	return out, nil
+}
+
+// FrameSlice returns the live backing slice of a frame (no copy); used by
+// the read-back path to avoid per-frame allocation. Callers must not hold
+// the slice across writes.
+func (m *Memory) FrameSlice(linear int) []uint32 { return m.frames[linear] }
+
+// Writes returns the number of frame writes performed.
+func (m *Memory) Writes() uint64 { return m.writes }
+
+// Reads returns the number of frame reads performed.
+func (m *Memory) Reads() uint64 { return m.reads }
+
+// RegionEqual reports whether the region's frames match the expected frame
+// contents (len(expected) == RegionFrames, in configuration order). Used by
+// tests as the ground-truth oracle alongside the CRC monitor.
+func (m *Memory) RegionEqual(r Region, expected [][]uint32) (bool, error) {
+	if err := m.dev.Validate(r); err != nil {
+		return false, err
+	}
+	want := m.dev.RegionFrames(r)
+	if len(expected) != want {
+		return false, fmt.Errorf("fabric: expected %d frames for region %q, got %d", want, r.Name, len(expected))
+	}
+	addr := r.RegionStart()
+	for i := 0; i < want; i++ {
+		lin, err := m.dev.Linear(addr)
+		if err != nil {
+			return false, err
+		}
+		got := m.frames[lin]
+		for w := 0; w < FrameWords; w++ {
+			if got[w] != expected[i][w] {
+				return false, nil
+			}
+		}
+		if i+1 < want {
+			addr, err = m.dev.Next(addr)
+			if err != nil {
+				return false, err
+			}
+		}
+	}
+	return true, nil
+}
+
+// RegionFrameIndices returns the linear indices of the region's frames in
+// configuration order.
+func (m *Memory) RegionFrameIndices(r Region) ([]int, error) {
+	if err := m.dev.Validate(r); err != nil {
+		return nil, err
+	}
+	n := m.dev.RegionFrames(r)
+	out := make([]int, 0, n)
+	addr := r.RegionStart()
+	for i := 0; i < n; i++ {
+		lin, err := m.dev.Linear(addr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lin)
+		if i+1 < n {
+			addr, err = m.dev.Next(addr)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,175 @@
+// Package hll implements the paper's acceleration framework (Fig. 1): four
+// reconfigurable partitions with per-RP clocks from the Clock Manager,
+// interrupt-driven status, and an on-demand scheduler that swaps ASPs in and
+// out as requests arrive — the "dynamically loaded hardware routines" story
+// of the introduction. Reconfigurations go through the over-clocked core
+// controller; the framework measures how much of the wall clock they cost.
+package hll
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// rpState tracks one partition.
+type rpState struct {
+	region   fabric.Region
+	resident string // ASP name, "" when empty
+	clock    string // Clock Manager output feeding this RP
+}
+
+// Stats aggregates a run.
+type Stats struct {
+	// Requests served and reconfigurations performed (a request for a
+	// resident ASP needs none).
+	Requests  int
+	Reconfigs int
+	// Hits counts requests whose ASP was already resident.
+	Hits int
+	// ReconfigTime is total time spent in partial reconfiguration;
+	// ComputeTime is total ASP execution time; Makespan is start→finish.
+	ReconfigTime sim.Duration
+	ComputeTime  sim.Duration
+	Makespan     sim.Duration
+	// Failures counts loads that did not verify.
+	Failures int
+}
+
+// OverheadFraction is reconfiguration time / makespan — the metric that
+// motivates boosting PDR throughput.
+func (s Stats) OverheadFraction() float64 {
+	if s.Makespan == 0 {
+		return 0
+	}
+	return float64(s.ReconfigTime) / float64(s.Makespan)
+}
+
+// Framework is the assembled Fig.-1 system.
+type Framework struct {
+	ctrl *core.Controller
+	rps  map[string]*rpState
+
+	// cache of built bitstreams: (asp, rp) → image
+	cache map[string]*bitstream.Bitstream
+	// traffic models each RP's private data DMA on the shared memory
+	// interface; a computing ASP contends with the configuration path.
+	traffic map[string]*dram.Traffic
+
+	stats Stats
+}
+
+// New builds the framework on a platform-backed controller.
+func New(ctrl *core.Controller) *Framework {
+	f := &Framework{
+		ctrl:    ctrl,
+		rps:     make(map[string]*rpState),
+		cache:   make(map[string]*bitstream.Bitstream),
+		traffic: make(map[string]*dram.Traffic),
+	}
+	p := ctrl.Platform()
+	clocks := p.ClockManager.Names()
+	for i, rp := range p.RPs {
+		f.rps[rp.Name] = &rpState{region: rp, clock: clocks[i%len(clocks)]}
+		f.traffic[rp.Name] = dram.NewTraffic(p.Kernel, p.DDR, 0)
+	}
+	return f
+}
+
+// Resident returns the ASP currently configured in the RP ("" if none).
+func (f *Framework) Resident(rp string) (string, error) {
+	st, ok := f.rps[rp]
+	if !ok {
+		return "", fmt.Errorf("hll: unknown RP %q", rp)
+	}
+	return st.resident, nil
+}
+
+// Stats returns the accumulated statistics.
+func (f *Framework) Stats() Stats { return f.stats }
+
+// bitstreamFor builds (and caches) the ASP's image for the RP.
+func (f *Framework) bitstreamFor(asp workload.ASP, st *rpState) (*bitstream.Bitstream, error) {
+	key := asp.Name + "@" + st.region.Name
+	if bs, ok := f.cache[key]; ok {
+		return bs, nil
+	}
+	bs, err := asp.Bitstream(f.ctrl.Platform().Device, st.region)
+	if err != nil {
+		return nil, err
+	}
+	f.cache[key] = bs
+	return bs, nil
+}
+
+// serve handles one request synchronously in simulated time: reconfigure if
+// needed, set the RP clock, then run the ASP's compute.
+func (f *Framework) serve(req workload.Request) error {
+	st, ok := f.rps[req.RP]
+	if !ok {
+		return fmt.Errorf("hll: unknown RP %q", req.RP)
+	}
+	asp, err := workload.LibraryASP(req.ASP)
+	if err != nil {
+		return err
+	}
+	p := f.ctrl.Platform()
+	f.stats.Requests++
+
+	if st.resident != asp.Name {
+		bs, err := f.bitstreamFor(asp, st)
+		if err != nil {
+			return err
+		}
+		t0 := p.Kernel.Now()
+		res, err := f.ctrl.Load(req.RP, bs)
+		if err != nil {
+			return err
+		}
+		f.stats.Reconfigs++
+		f.stats.ReconfigTime += p.Kernel.Now().Sub(t0)
+		if !res.CRCValid {
+			f.stats.Failures++
+			st.resident = ""
+			return nil // request dropped; caller sees it in stats
+		}
+		st.resident = asp.Name
+		// Each RP gets the clock its ASP timing closure allows.
+		p.ClockManager.Domain(st.clock).SetFreq(sim.Hz(asp.ClockMHz * 1e6))
+	} else {
+		f.stats.Hits++
+	}
+
+	// Run the task; the ASP's data DMA loads the shared memory interface
+	// for the duration.
+	gen := f.traffic[req.RP]
+	gen.SetRate(asp.MemBandwidthMBs)
+	gen.Start()
+	p.Kernel.RunFor(asp.ComputeTime)
+	gen.Stop()
+	f.stats.ComputeTime += asp.ComputeTime
+	return nil
+}
+
+// Run executes a whole trace, honouring request times (a request earlier
+// than "now" queues behind the previous one, as with a busy accelerator).
+func (f *Framework) Run(tr workload.Trace) (Stats, error) {
+	p := f.ctrl.Platform()
+	start := p.Kernel.Now()
+	for _, req := range tr {
+		target := start.Add(req.At)
+		if p.Kernel.Now() < target {
+			p.Kernel.RunUntil(target)
+		}
+		if err := f.serve(req); err != nil {
+			return f.stats, err
+		}
+	}
+	f.stats.Makespan = p.Kernel.Now().Sub(start)
+	return f.stats, nil
+}

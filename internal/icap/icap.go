@@ -1,0 +1,414 @@
+// Package icap models the Internal Configuration Access Port and the ICAP
+// controller of the paper's reference [9]: a 32-bit-per-cycle consumer of
+// configuration words that parses the packet stream, writes configuration
+// frames, maintains the running config CRC, and raises a completion
+// interrupt at DESYNC.
+//
+// The port lives in the over-clocked domain. Its failure behaviour under
+// over-clocking comes from the timing model:
+//
+//   - data-path violation ⇒ incoming words suffer bit flips (the CRC
+//     read-back later reports an invalid bitstream);
+//   - control-path violation ⇒ the completion interrupt is never asserted
+//     (the paper's "N/A no interrupt" rows), although data lands intact.
+package icap
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/clock"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+// Status is the ICAP status view the PS can poll (the STAT register of the
+// modelled configuration logic).
+type Status struct {
+	// Done is latched when a DESYNC retires and the control path met
+	// timing (the completion interrupt fired).
+	Done bool
+	// CRCError is latched when a CRC-register write mismatches the running
+	// CRC.
+	CRCError bool
+	// SyncError is latched when the parser hits a malformed packet.
+	SyncError bool
+	// IDCODEError is latched when the bitstream targets another device.
+	IDCODEError bool
+	// FramesWritten counts configuration frames written this transfer.
+	FramesWritten int
+}
+
+// parserState enumerates the packet-parser states.
+type parserState int
+
+const (
+	stateUnsynced parserState = iota
+	stateIdle
+	stateType1Data
+	stateAwaitType2
+	stateType2Data
+)
+
+// Port is the ICAP primitive plus controller.
+type Port struct {
+	kernel *sim.Kernel
+	domain *clock.Domain
+	mem    *fabric.Memory
+	tmodel *timing.Model
+	tempC  func() float64
+	vdd    func() float64
+	rng    *sim.RNG
+
+	// OnDone fires (once per transfer) when DESYNC retires with the
+	// control path meeting timing. The argument is the latched status.
+	OnDone func(Status)
+
+	busyUntil sim.Time
+
+	// Parser state.
+	state     parserState
+	curReg    bitstream.Reg
+	remaining int
+	crc       bitstream.ConfigCRC
+	far       fabric.FrameAddr
+	farValid  bool
+	wcfg      bool
+	frameBuf  []uint32
+	status    Status
+	wordsIn   uint64
+}
+
+// Config bundles the Port dependencies.
+type Config struct {
+	Kernel *sim.Kernel
+	Domain *clock.Domain
+	Memory *fabric.Memory
+	Timing *timing.Model
+	// TempC supplies the die temperature for failure classification.
+	TempC func() float64
+	// Vdd supplies the core voltage (nil ⇒ nominal).
+	Vdd func() float64
+	// Seed drives the deterministic corruption pattern.
+	Seed uint64
+}
+
+// New creates an ICAP port.
+func New(cfg Config) *Port {
+	if cfg.Kernel == nil || cfg.Domain == nil || cfg.Memory == nil || cfg.Timing == nil {
+		panic("icap: missing dependency")
+	}
+	tempC := cfg.TempC
+	if tempC == nil {
+		tempC = func() float64 { return 40 }
+	}
+	vdd := cfg.Vdd
+	if vdd == nil {
+		nom := cfg.Timing.VNom
+		vdd = func() float64 { return nom }
+	}
+	return &Port{
+		kernel:   cfg.Kernel,
+		domain:   cfg.Domain,
+		mem:      cfg.Memory,
+		tmodel:   cfg.Timing,
+		tempC:    tempC,
+		vdd:      vdd,
+		rng:      sim.NewRNG(cfg.Seed ^ 0x1CAB),
+		frameBuf: make([]uint32, 0, fabric.FrameWords),
+	}
+}
+
+// Domain returns the port's clock domain (the over-clocked one).
+func (p *Port) Domain() *clock.Domain { return p.domain }
+
+// Memory returns the configuration memory behind the port.
+func (p *Port) Memory() *fabric.Memory { return p.mem }
+
+// Status returns the latched status.
+func (p *Port) Status() Status { return p.status }
+
+// WordsIn returns the total words consumed since Reset.
+func (p *Port) WordsIn() uint64 { return p.wordsIn }
+
+// Reset clears parser and status state for a new transfer (the controller
+// does this before programming the DMA).
+func (p *Port) Reset() {
+	p.state = stateUnsynced
+	p.remaining = 0
+	p.crc.Reset()
+	p.farValid = false
+	p.wcfg = false
+	p.frameBuf = p.frameBuf[:0]
+	p.status = Status{}
+	p.wordsIn = 0
+}
+
+// BusyUntil returns the time the port's word pipe is occupied through; the
+// CRC read-back monitor uses it to stay out of the way of active transfers.
+func (p *Port) BusyUntil() sim.Time { return p.busyUntil }
+
+// Reserve blocks out the port for n word-times starting no earlier than now
+// and returns the completion time. Used by Feed and by the read-back path,
+// which share the single physical ICAP.
+func (p *Port) Reserve(n int) sim.Time {
+	start := p.kernel.Now()
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	p.busyUntil = start.Add(sim.Cycles(int64(n), p.domain.Freq()))
+	return p.busyUntil
+}
+
+// Feed delivers a burst of configuration words to the port. The port
+// consumes one word per cycle of its domain clock; done (optional) fires
+// when the burst has been clocked in, which is the moment the upstream FIFO
+// slot frees. Parsing effects (frame writes, CRC, interrupts) are applied at
+// the same moment.
+func (p *Port) Feed(words []uint32, done func()) {
+	if len(words) == 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	// Timing-violation corruption happens at the clock-domain boundary:
+	// words are damaged as they are latched.
+	rate := p.tmodel.CorruptionRate(p.domain.Freq(), p.tempC(), p.vdd())
+	if rate > 0 {
+		corrupted := make([]uint32, len(words))
+		copy(corrupted, words)
+		for i := range corrupted {
+			if p.rng.Bool(rate) {
+				corrupted[i] ^= 1 << uint(p.rng.Intn(32))
+			}
+		}
+		words = corrupted
+	}
+	end := p.Reserve(len(words))
+	p.kernel.At(end, func() {
+		p.consume(words)
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// consume runs the packet parser over a burst.
+func (p *Port) consume(words []uint32) {
+	p.wordsIn += uint64(len(words))
+	for i := 0; i < len(words); i++ {
+		if p.status.IDCODEError {
+			// A device-mismatch abort ignores the rest of the stream until
+			// the controller resets the port.
+			return
+		}
+		w := words[i]
+		switch p.state {
+		case stateUnsynced:
+			if w == bitstream.SyncWord {
+				p.state = stateIdle
+			}
+			// Dummy/bus-width words are ignored pre-sync.
+		case stateIdle:
+			p.parseHeader(w)
+		case stateType1Data, stateType2Data:
+			// Fast path: bulk-consume FDRI payload within this burst.
+			if p.curReg == bitstream.RegFDRI {
+				n := len(words) - i
+				if n > p.remaining {
+					n = p.remaining
+				}
+				p.dataFDRI(words[i : i+n])
+				p.remaining -= n
+				i += n - 1
+			} else {
+				p.dataWord(w)
+				p.remaining--
+			}
+			if p.remaining == 0 && (p.state == stateType1Data || p.state == stateType2Data) {
+				p.state = stateIdle
+			}
+		case stateAwaitType2:
+			h, ok := bitstream.Decode(w)
+			if !ok || h.Type != 2 {
+				p.status.SyncError = true
+				p.state = stateUnsynced
+				continue
+			}
+			if h.Words == 0 {
+				p.state = stateIdle
+				continue
+			}
+			p.remaining = h.Words
+			p.state = stateType2Data
+		}
+	}
+}
+
+func (p *Port) parseHeader(w uint32) {
+	if w == bitstream.DummyWord || w == bitstream.SyncWord {
+		return // tolerated between packets
+	}
+	h, ok := bitstream.Decode(w)
+	if !ok {
+		p.status.SyncError = true
+		p.state = stateUnsynced
+		return
+	}
+	switch {
+	case h.Op == bitstream.OpNOP:
+		return
+	case h.Type == 1 && h.Op == bitstream.OpWrite:
+		p.curReg = h.Reg
+		if h.Words == 0 {
+			p.state = stateAwaitType2
+			return
+		}
+		p.remaining = h.Words
+		p.state = stateType1Data
+	case h.Type == 1 && h.Op == bitstream.OpRead:
+		// Read-back is served through the Readback API; a read packet in a
+		// write stream is tolerated and skipped.
+		return
+	default:
+		p.status.SyncError = true
+		p.state = stateUnsynced
+	}
+}
+
+// dataWord applies a single register-write word.
+func (p *Port) dataWord(w uint32) {
+	switch p.curReg {
+	case bitstream.RegCRC:
+		// The device compares before folding the CRC word itself.
+		if w != p.crc.Value() {
+			p.status.CRCError = true
+		}
+		return
+	case bitstream.RegIDCODE:
+		p.crc.Update(p.curReg, w)
+		if w != p.mem.Device().IDCode {
+			p.status.IDCODEError = true
+			p.state = stateUnsynced
+		}
+		return
+	case bitstream.RegFAR:
+		p.crc.Update(p.curReg, w)
+		addr := fabric.DecodeFAR(w)
+		if _, err := p.mem.Device().Linear(addr); err != nil {
+			p.status.SyncError = true
+			return
+		}
+		p.far = addr
+		p.farValid = true
+		p.frameBuf = p.frameBuf[:0]
+		return
+	case bitstream.RegCMD:
+		p.crc.Update(p.curReg, w)
+		p.command(bitstream.Cmd(w))
+		return
+	default:
+		p.crc.Update(p.curReg, w)
+	}
+}
+
+// dataFDRI applies a run of FDRI payload words.
+func (p *Port) dataFDRI(words []uint32) {
+	if !p.wcfg || !p.farValid {
+		p.status.SyncError = true
+		return
+	}
+	p.crc.UpdateWords(bitstream.RegFDRI, words)
+	for len(words) > 0 {
+		space := fabric.FrameWords - len(p.frameBuf)
+		n := len(words)
+		if n > space {
+			n = space
+		}
+		p.frameBuf = append(p.frameBuf, words[:n]...)
+		words = words[n:]
+		if len(p.frameBuf) == fabric.FrameWords {
+			if err := p.mem.WriteFrame(p.far, p.frameBuf); err != nil {
+				p.status.SyncError = true
+				return
+			}
+			p.status.FramesWritten++
+			p.frameBuf = p.frameBuf[:0]
+			next, err := p.mem.Device().Next(p.far)
+			if err != nil {
+				// Last frame of the device: further data is an error, but
+				// a transfer that ends exactly here is fine.
+				p.farValid = false
+			} else {
+				p.far = next
+			}
+		}
+	}
+}
+
+// command executes a CMD-register write.
+func (p *Port) command(c bitstream.Cmd) {
+	switch c {
+	case bitstream.CmdRCRC:
+		p.crc.Reset()
+	case bitstream.CmdWCFG:
+		p.wcfg = true
+	case bitstream.CmdLFRM:
+		p.wcfg = false
+	case bitstream.CmdDesync:
+		p.desync()
+	case bitstream.CmdNull, bitstream.CmdRCFG, bitstream.CmdStart:
+		// No modelled effect.
+	default:
+		// Unknown commands are ignored, as on hardware.
+	}
+}
+
+// desync ends the transfer: latch Done and raise the completion interrupt
+// unless the control path is violating timing (the paper's hang mode).
+func (p *Port) desync() {
+	outcome := p.tmodel.Classify(p.domain.Freq(), p.tempC(), p.vdd())
+	if outcome == timing.Hang || outcome == timing.Freeze {
+		// Interrupt logic missed timing: no Done, no IRQ. Data (if the
+		// data path was fine) is already in configuration memory.
+		return
+	}
+	p.status.Done = true
+	if p.OnDone != nil {
+		st := p.status
+		cb := p.OnDone
+		// Interrupt propagation is one cycle later; deliver via the kernel
+		// so callers never re-enter the parser.
+		p.kernel.Schedule(p.domain.Period(), func() { cb(st) })
+	}
+}
+
+// Readback reads n frames starting at addr through the shared port,
+// invoking done with the frame contents when the words have been clocked
+// out. Reading occupies the port like writing does (1 word/cycle).
+func (p *Port) Readback(addr fabric.FrameAddr, n int, done func([][]uint32, error)) {
+	dev := p.mem.Device()
+	end := p.Reserve(n * fabric.FrameWords)
+	p.kernel.At(end, func() {
+		frames := make([][]uint32, 0, n)
+		a := addr
+		for i := 0; i < n; i++ {
+			f, err := p.mem.ReadFrame(a)
+			if err != nil {
+				done(nil, fmt.Errorf("icap: readback: %w", err))
+				return
+			}
+			frames = append(frames, f)
+			if i+1 < n {
+				a, err = dev.Next(a)
+				if err != nil {
+					done(nil, fmt.Errorf("icap: readback: %w", err))
+					return
+				}
+			}
+		}
+		done(frames, nil)
+	})
+}

@@ -1,0 +1,82 @@
+// Package paperdata records the numbers published in the paper (Tables I–III
+// and the Fig. 5/6 observations) so tests and the experiment harness can
+// compare simulated results against them with explicit tolerances.
+package paperdata
+
+// TableIRow is one row of Table I (throughput vs frequency).
+type TableIRow struct {
+	FreqMHz float64
+	// LatencyUS is 0 for the "N/A no interrupt" rows.
+	LatencyUS     float64
+	ThroughputMBs float64
+	IRQ           bool
+	CRCValid      bool
+}
+
+// TableI is the published Table I.
+var TableI = []TableIRow{
+	{FreqMHz: 100, LatencyUS: 1325.60, ThroughputMBs: 399.06, IRQ: true, CRCValid: true},
+	{FreqMHz: 140, LatencyUS: 947.40, ThroughputMBs: 558.12, IRQ: true, CRCValid: true},
+	{FreqMHz: 180, LatencyUS: 737.50, ThroughputMBs: 716.96, IRQ: true, CRCValid: true},
+	{FreqMHz: 200, LatencyUS: 676.30, ThroughputMBs: 781.84, IRQ: true, CRCValid: true},
+	{FreqMHz: 240, LatencyUS: 671.90, ThroughputMBs: 786.96, IRQ: true, CRCValid: true},
+	{FreqMHz: 280, LatencyUS: 669.20, ThroughputMBs: 790.14, IRQ: true, CRCValid: true},
+	{FreqMHz: 310, IRQ: false, CRCValid: true},
+	{FreqMHz: 320, IRQ: false, CRCValid: false},
+	{FreqMHz: 360, IRQ: false, CRCValid: false},
+}
+
+// BitstreamBytes is the transfer size implied by Table I's latency ×
+// throughput products (every row multiplies to ≈528,760 bytes). The
+// abstract's "1.2 MB" is inconsistent with the table; see EXPERIMENTS.md.
+const BitstreamBytes = 528760
+
+// TableIIRow is one row of Table II (power efficiency at 40 °C).
+type TableIIRow struct {
+	FreqMHz       float64
+	PDRWatts      float64
+	ThroughputMBs float64
+	PpWMBperJ     float64
+}
+
+// TableII is the published Table II.
+var TableII = []TableIIRow{
+	{100, 1.14, 399.06, 351},
+	{140, 1.23, 558.12, 453},
+	{180, 1.28, 716.96, 560},
+	{200, 1.30, 781.84, 599},
+	{240, 1.36, 786.96, 577},
+	{280, 1.44, 790.14, 550},
+}
+
+// TableIIIRow is one row of Table III (related work).
+type TableIIIRow struct {
+	Design        string
+	Platform      string
+	FreqMHz       float64
+	ThroughputMBs float64
+}
+
+// TableIII is the published comparison.
+var TableIII = []TableIIIRow{
+	{"VF-2012", "Virtex-6", 210, 839},
+	{"HP-2011", "Virtex-5", 133, 419},
+	{"HKT-2011", "Virtex-5", 550, 2200},
+	{"This work", "Zynq-7000", 280, 790},
+}
+
+// StressFailFreqMHz / StressFailTempC identify the single failing cell of
+// the Sec. IV-A temperature-stress matrix.
+const (
+	StressFailFreqMHz = 310.0
+	StressFailTempC   = 100.0
+)
+
+// SecVITheoreticalMBs is the proposed system's stated throughput.
+const SecVITheoreticalMBs = 1237.5
+
+// KneeMHz is the most power-efficient frequency (Table II's maximum).
+const KneeMHz = 200.0
+
+// BestPpW is the paper's headline efficiency at the knee.
+const BestPpW = 599.0

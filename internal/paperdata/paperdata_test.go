@@ -1,0 +1,82 @@
+package paperdata
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableIInternallyConsistent(t *testing.T) {
+	// Each operational row's latency × throughput must multiply out to the
+	// same transfer size — the observation the whole calibration rests on.
+	for _, row := range TableI {
+		if !row.IRQ {
+			continue
+		}
+		size := row.LatencyUS * row.ThroughputMBs // µs · MB/s = bytes
+		if math.Abs(size-BitstreamBytes)/BitstreamBytes > 0.001 {
+			t.Errorf("%v MHz: latency×throughput = %.0f bytes, want ≈%d",
+				row.FreqMHz, size, BitstreamBytes)
+		}
+	}
+}
+
+func TestTableIIConsistentWithTableI(t *testing.T) {
+	// Table II's throughput column repeats Table I's; its PpW column must
+	// equal throughput/power within rounding.
+	tputByFreq := map[float64]float64{}
+	for _, row := range TableI {
+		tputByFreq[row.FreqMHz] = row.ThroughputMBs
+	}
+	for _, row := range TableII {
+		if got := tputByFreq[row.FreqMHz]; got != row.ThroughputMBs {
+			t.Errorf("%v MHz: Table II throughput %v != Table I %v",
+				row.FreqMHz, row.ThroughputMBs, got)
+		}
+		ppw := row.ThroughputMBs / row.PDRWatts
+		if math.Abs(ppw-row.PpWMBperJ) > 3.5 {
+			t.Errorf("%v MHz: PpW %v inconsistent with %v/%v = %.0f",
+				row.FreqMHz, row.PpWMBperJ, row.ThroughputMBs, row.PDRWatts, ppw)
+		}
+	}
+}
+
+func TestTableIFailureTaxonomy(t *testing.T) {
+	// Rows must be ordered by frequency with the documented failure order:
+	// OK (IRQ+valid) → hang (no IRQ, valid) → corrupt (no IRQ, invalid).
+	phase := 0
+	last := 0.0
+	for _, row := range TableI {
+		if row.FreqMHz <= last {
+			t.Fatal("rows not frequency-ordered")
+		}
+		last = row.FreqMHz
+		var p int
+		switch {
+		case row.IRQ && row.CRCValid:
+			p = 0
+		case !row.IRQ && row.CRCValid:
+			p = 1
+		case !row.IRQ && !row.CRCValid:
+			p = 2
+		default:
+			t.Fatalf("%v MHz: impossible combination IRQ=%v valid=%v", row.FreqMHz, row.IRQ, row.CRCValid)
+		}
+		if p < phase {
+			t.Errorf("%v MHz: failure phase regressed", row.FreqMHz)
+		}
+		phase = p
+	}
+}
+
+func TestKneeIsTableIIMaximum(t *testing.T) {
+	best := 0.0
+	bestF := 0.0
+	for _, row := range TableII {
+		if row.PpWMBperJ > best {
+			best, bestF = row.PpWMBperJ, row.FreqMHz
+		}
+	}
+	if bestF != KneeMHz || best != BestPpW {
+		t.Errorf("knee = %v MHz @ %v MB/J, constants say %v @ %v", bestF, best, KneeMHz, BestPpW)
+	}
+}

@@ -1,0 +1,176 @@
+// Package power models the power dissipation of the Zynq SoC and the
+// ZedBoard measurement chain used in Sec. IV-B of the paper: the board's
+// current-sense pin-headers, the idle baseline P0 = 2.2 W, and the
+// configuration-circuitry contribution
+//
+//	P_PDR(f,T) = P_dyn(f) + P_static(T)
+//
+// with dynamic power linear in frequency (slope independent of temperature)
+// and static power super-linear in temperature — exactly the structure the
+// paper reads off Fig. 6.
+package power
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Params are the calibrated power-model coefficients.
+type Params struct {
+	// DynPerMHz is the dynamic power slope at nominal voltage, in W/MHz.
+	// Calibrated from Table II: (1.44−1.14)/(280−100) = 1.667e-3 W/MHz.
+	DynPerMHz float64
+	// StaticAt40 is the PDR design's static power at 40 °C in W.
+	// Calibrated from Table II's intercept: 1.14 − 0.1667 = 0.9733 W.
+	StaticAt40 float64
+	// StaticTempCoeff is the exponential leakage coefficient in 1/°C:
+	// P_static(T) = StaticAt40 · exp(coeff · (T − 40)).
+	StaticTempCoeff float64
+	// VNom is the nominal core voltage; dynamic power scales with (V/VNom)².
+	VNom float64
+	// BoardBaseline is P0: the whole-board power with the Zynq idle and the
+	// PL unprogrammed, measured at 40 °C (2.2 W in the paper).
+	BoardBaseline float64
+	// PSActive is the extra PS-side power while the control program runs.
+	// It heats the die but is part of the baseline subtraction story only
+	// insofar as the paper folds it into P0; we keep it separate for the
+	// thermal coupling.
+	PSActive float64
+}
+
+// DefaultParams returns the coefficients calibrated to Table II / Fig. 6.
+func DefaultParams() Params {
+	return Params{
+		DynPerMHz:       (1.44 - 1.14) / (280 - 100),
+		StaticAt40:      1.14 - 100*(1.44-1.14)/(280-100),
+		StaticTempCoeff: 0.0067,
+		VNom:            1.0,
+		BoardBaseline:   2.2,
+		PSActive:        1.53,
+	}
+}
+
+// Model computes instantaneous powers from live frequency/temperature/state
+// providers, so the thermal model and the meter always see consistent values.
+type Model struct {
+	params Params
+
+	// FreqMHz returns the configuration-path clock in MHz.
+	FreqMHz func() float64
+	// TempC returns the die temperature in °C.
+	TempC func() float64
+	// Vdd returns the core voltage in volts (nil ⇒ nominal).
+	Vdd func() float64
+	// PLActive reports whether the PDR design is loaded and clocked
+	// (nil ⇒ always active).
+	PLActive func() bool
+}
+
+// NewModel builds a model with the given parameters.
+func NewModel(p Params) *Model { return &Model{params: p} }
+
+// Params returns the model coefficients.
+func (m *Model) Params() Params { return m.params }
+
+func (m *Model) vdd() float64 {
+	if m.Vdd == nil {
+		return m.params.VNom
+	}
+	return m.Vdd()
+}
+
+func (m *Model) active() bool { return m.PLActive == nil || m.PLActive() }
+
+// Dynamic returns the dynamic (switching) component of P_PDR in W.
+func (m *Model) Dynamic() float64 {
+	if !m.active() || m.FreqMHz == nil {
+		return 0
+	}
+	v := m.vdd() / m.params.VNom
+	return m.params.DynPerMHz * m.FreqMHz() * v * v
+}
+
+// Static returns the static (leakage) component of P_PDR in W at the current
+// die temperature.
+func (m *Model) Static() float64 {
+	if !m.active() {
+		return 0
+	}
+	t := 40.0
+	if m.TempC != nil {
+		t = m.TempC()
+	}
+	return m.params.StaticAt40 * math.Exp(m.params.StaticTempCoeff*(t-40))
+}
+
+// PDR returns P_PDR = dynamic + static, the quantity the paper plots in
+// Fig. 6 after subtracting the board baseline.
+func (m *Model) PDR() float64 { return m.Dynamic() + m.Static() }
+
+// PDRAt evaluates P_PDR at an explicit operating point, independent of the
+// live providers. Used by sweeps.
+func (m *Model) PDRAt(freqMHz, tempC float64) float64 {
+	return m.params.DynPerMHz*freqMHz +
+		m.params.StaticAt40*math.Exp(m.params.StaticTempCoeff*(tempC-40))
+}
+
+// Board returns the total board power as the current-sense headers see it:
+// baseline + P_PDR (the PS-active overhead is inside the baseline the paper
+// subtracts, because P0 was measured with the same software stack idle).
+func (m *Model) Board() float64 { return m.params.BoardBaseline + m.PDR() }
+
+// ChipHeat returns the power that heats the die (PS + PDR, excluding board
+// peripherals), feeding the thermal model.
+func (m *Model) ChipHeat() float64 { return m.params.PSActive + m.PDR() }
+
+// PerformancePerWatt returns the paper's power-efficiency metric in MB/J
+// given a throughput in MB/s and a P_PDR in W.
+func PerformancePerWatt(throughputMBs, pdrWatts float64) float64 {
+	if pdrWatts <= 0 {
+		return 0
+	}
+	return throughputMBs / pdrWatts
+}
+
+// Meter models the ZedBoard current-sense measurement chain: a shunt on the
+// 12 V rail read by a bench meter with 10 mW effective resolution, plus a
+// simulated-time energy integrator.
+type Meter struct {
+	kernel *sim.Kernel
+	model  *Model
+
+	resolutionW float64
+	energyJ     float64
+	lastSample  sim.Time
+	lastPower   float64
+}
+
+// NewMeter attaches a meter to the model and starts integrating energy.
+func NewMeter(k *sim.Kernel, m *Model, samplePeriod sim.Duration) *Meter {
+	mt := &Meter{kernel: k, model: m, resolutionW: 0.01, lastSample: k.Now(), lastPower: m.Board()}
+	k.NewTicker(samplePeriod, mt.sample)
+	return mt
+}
+
+func (mt *Meter) sample() {
+	now := mt.kernel.Now()
+	dt := now.Sub(mt.lastSample).Seconds()
+	mt.energyJ += mt.lastPower * dt
+	mt.lastSample = now
+	mt.lastPower = mt.model.Board()
+}
+
+// ReadBoard returns the board power quantized to the meter resolution.
+func (mt *Meter) ReadBoard() float64 {
+	return math.Round(mt.model.Board()/mt.resolutionW) * mt.resolutionW
+}
+
+// ReadPDR returns the baseline-subtracted reading, i.e. the paper's
+// P_PDR = P_f^T − P0, quantized like the bench measurement.
+func (mt *Meter) ReadPDR() float64 {
+	return math.Round((mt.model.Board()-mt.model.params.BoardBaseline)/mt.resolutionW) * mt.resolutionW
+}
+
+// EnergyJ returns the energy integrated so far (board-level joules).
+func (mt *Meter) EnergyJ() float64 { return mt.energyJ }

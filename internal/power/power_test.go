@@ -1,0 +1,199 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestTableIIPowerValues(t *testing.T) {
+	// Table II: P_PDR at 40 °C for the six operational frequencies.
+	m := NewModel(DefaultParams())
+	tests := []struct {
+		freqMHz float64
+		wantW   float64
+	}{
+		{100, 1.14},
+		{140, 1.23}, // paper: 1.23 (model gives 1.2067+…)
+		{180, 1.28},
+		{200, 1.30},
+		{240, 1.36},
+		{280, 1.44},
+	}
+	for _, tt := range tests {
+		got := m.PDRAt(tt.freqMHz, 40)
+		if math.Abs(got-tt.wantW) > 0.035 {
+			t.Errorf("PDR(%v MHz, 40°C) = %.3f W, want %.2f ± 0.035", tt.freqMHz, got, tt.wantW)
+		}
+	}
+}
+
+func TestDynamicSlopeIndependentOfTemperature(t *testing.T) {
+	// Fig. 6's observation: the P(f) slope is the same at every temperature.
+	m := NewModel(DefaultParams())
+	slopeAt := func(tempC float64) float64 {
+		return (m.PDRAt(280, tempC) - m.PDRAt(100, tempC)) / 180
+	}
+	s40 := slopeAt(40)
+	for _, temp := range []float64{60, 80, 100} {
+		if s := slopeAt(temp); math.Abs(s-s40) > 1e-12 {
+			t.Errorf("slope at %v°C = %v, want %v (temperature-independent)", temp, s, s40)
+		}
+	}
+}
+
+func TestStaticPowerSuperLinearInTemperature(t *testing.T) {
+	// Fig. 6's other observation: static power grows more than linearly
+	// with temperature: the increment per 20 °C must itself grow.
+	m := NewModel(DefaultParams())
+	d1 := m.PDRAt(100, 60) - m.PDRAt(100, 40)
+	d2 := m.PDRAt(100, 80) - m.PDRAt(100, 60)
+	d3 := m.PDRAt(100, 100) - m.PDRAt(100, 80)
+	if !(d3 > d2 && d2 > d1) {
+		t.Errorf("static increments not super-linear: %v, %v, %v", d1, d2, d3)
+	}
+}
+
+func TestPerformancePerWattTableII(t *testing.T) {
+	// Table II's efficiency column from its own throughput/power columns.
+	tests := []struct {
+		mbs, w, want float64
+	}{
+		{399.06, 1.14, 351},
+		{558.12, 1.23, 453},
+		{716.96, 1.28, 560},
+		{781.84, 1.30, 599},
+		{786.96, 1.36, 577},
+		{790.14, 1.44, 550},
+	}
+	for _, tt := range tests {
+		got := PerformancePerWatt(tt.mbs, tt.w)
+		if math.Abs(got-tt.want) > 3.5 {
+			t.Errorf("PpW(%v, %v) = %.0f, want %v ± 3.5", tt.mbs, tt.w, got, tt.want)
+		}
+	}
+	if PerformancePerWatt(100, 0) != 0 {
+		t.Error("zero power must not divide")
+	}
+}
+
+func TestMostEfficientPointIs200MHz(t *testing.T) {
+	// The headline result: PpW peaks at the 200 MHz knee.
+	m := NewModel(DefaultParams())
+	paperThroughput := map[float64]float64{
+		100: 399.06, 140: 558.12, 180: 716.96, 200: 781.84, 240: 786.96, 280: 790.14,
+	}
+	bestF, bestPpW := 0.0, 0.0
+	for f, tput := range paperThroughput {
+		ppw := PerformancePerWatt(tput, m.PDRAt(f, 40))
+		if ppw > bestPpW {
+			bestF, bestPpW = f, ppw
+		}
+	}
+	if bestF != 200 {
+		t.Errorf("most efficient frequency = %v MHz, want 200", bestF)
+	}
+	if math.Abs(bestPpW-599) > 10 {
+		t.Errorf("best PpW = %.0f MB/J, want ≈599", bestPpW)
+	}
+}
+
+func TestModelLiveProviders(t *testing.T) {
+	m := NewModel(DefaultParams())
+	freq := 200.0
+	temp := 40.0
+	active := true
+	m.FreqMHz = func() float64 { return freq }
+	m.TempC = func() float64 { return temp }
+	m.PLActive = func() bool { return active }
+
+	if got, want := m.PDR(), m.PDRAt(200, 40); math.Abs(got-want) > 1e-12 {
+		t.Errorf("live PDR = %v, want %v", got, want)
+	}
+	active = false
+	if m.PDR() != 0 {
+		t.Error("inactive PL must not dissipate PDR power")
+	}
+	active = true
+	if got := m.Board(); math.Abs(got-(2.2+m.PDRAt(200, 40))) > 1e-12 {
+		t.Errorf("Board = %v", got)
+	}
+	if got := m.ChipHeat(); got <= m.PDR() {
+		t.Errorf("ChipHeat %v must include PS power above PDR %v", got, m.PDR())
+	}
+}
+
+func TestVoltageScalingQuadratic(t *testing.T) {
+	m := NewModel(DefaultParams())
+	m.FreqMHz = func() float64 { return 200 }
+	v := 1.0
+	m.Vdd = func() float64 { return v }
+	p1 := m.Dynamic()
+	v = 1.1
+	p2 := m.Dynamic()
+	if math.Abs(p2/p1-1.21) > 1e-9 {
+		t.Errorf("dynamic power ratio = %v, want 1.21 (V²)", p2/p1)
+	}
+}
+
+func TestMeterQuantizationAndSubtraction(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewModel(DefaultParams())
+	m.FreqMHz = func() float64 { return 200 }
+	m.TempC = func() float64 { return 40 }
+	mt := NewMeter(k, m, sim.Millisecond)
+	board := mt.ReadBoard()
+	pdr := mt.ReadPDR()
+	// Quantized to 10 mW.
+	if math.Abs(board*100-math.Round(board*100)) > 1e-9 {
+		t.Errorf("board reading %v not on 10 mW grid", board)
+	}
+	if math.Abs(pdr-(board-2.2)) > 0.011 {
+		t.Errorf("PDR reading %v inconsistent with board %v − 2.2", pdr, board)
+	}
+	if math.Abs(pdr-1.30) > 0.02 {
+		t.Errorf("PDR @ 200MHz/40°C reads %v, want ≈1.30", pdr)
+	}
+}
+
+func TestMeterEnergyIntegration(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewModel(DefaultParams())
+	m.FreqMHz = func() float64 { return 100 }
+	m.TempC = func() float64 { return 40 }
+	mt := NewMeter(k, m, sim.Millisecond)
+	k.RunFor(2 * sim.Second)
+	want := m.Board() * 2.0
+	if math.Abs(mt.EnergyJ()-want) > want*0.01 {
+		t.Errorf("energy = %v J, want ≈%v J", mt.EnergyJ(), want)
+	}
+}
+
+func TestPDRMonotoneProperties(t *testing.T) {
+	m := NewModel(DefaultParams())
+	// P_PDR is monotone increasing in f at fixed T and in T at fixed f.
+	propF := func(a, b uint16, traw uint8) bool {
+		f1, f2 := float64(100+a%300), float64(100+b%300)
+		if f1 > f2 {
+			f1, f2 = f2, f1
+		}
+		temp := float64(40 + traw%61)
+		return m.PDRAt(f1, temp) <= m.PDRAt(f2, temp)+1e-12
+	}
+	if err := quick.Check(propF, nil); err != nil {
+		t.Errorf("not monotone in frequency: %v", err)
+	}
+	propT := func(fraw uint16, a, b uint8) bool {
+		f := float64(100 + fraw%300)
+		t1, t2 := float64(40+a%61), float64(40+b%61)
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		return m.PDRAt(f, t1) <= m.PDRAt(f, t2)+1e-12
+	}
+	if err := quick.Check(propT, nil); err != nil {
+		t.Errorf("not monotone in temperature: %v", err)
+	}
+}

@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events at equal times fire in scheduling
+// order (FIFO), which keeps simulations deterministic.
+type Event struct {
+	at  Time
+	seq uint64
+	fn  func()
+
+	cancelled bool
+	index     int // heap index, -1 when popped
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
+
+// When returns the simulated time at which the event fires.
+func (e *Event) When() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a single-threaded discrete-event simulation engine. The zero
+// value is ready to use (time starts at 0 with an empty queue).
+//
+// Kernel is not safe for concurrent use; hardware models are single-threaded
+// by design so that event ordering is exact.
+type Kernel struct {
+	queue   eventHeap
+	now     Time
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Pending returns the number of events still queued (including cancelled
+// events that have not yet been discarded).
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Fired returns the total number of events executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Schedule queues fn to run after delay d. Negative delays panic: a hardware
+// model asking for time travel is always a bug.
+func (k *Kernel) Schedule(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// At queues fn to run at absolute time t, which must not be in the past.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, k.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e := &Event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// Stop makes the currently running Run/RunUntil call return after the
+// in-flight event completes. The queue is preserved.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Step executes the single next event. It reports false when the queue is
+// empty.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.cancelled {
+			continue
+		}
+		if e.at < k.now {
+			panic("sim: event queue corrupted (time went backwards)")
+		}
+		k.now = e.at
+		k.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (k *Kernel) Run() {
+	k.stopped = false
+	for !k.stopped && k.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps ≤ t, then advances the clock to t.
+// Events scheduled beyond t remain queued.
+func (k *Kernel) RunUntil(t Time) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, k.now))
+	}
+	k.stopped = false
+	for !k.stopped {
+		next, ok := k.peek()
+		if !ok || next.at > t {
+			break
+		}
+		k.Step()
+	}
+	if !k.stopped && k.now < t {
+		k.now = t
+	}
+}
+
+// RunFor executes events within the next d of simulated time and advances the
+// clock by exactly d (unless stopped early).
+func (k *Kernel) RunFor(d Duration) { k.RunUntil(k.now.Add(d)) }
+
+func (k *Kernel) peek() (*Event, bool) {
+	for len(k.queue) > 0 {
+		e := k.queue[0]
+		if !e.cancelled {
+			return e, true
+		}
+		heap.Pop(&k.queue)
+	}
+	return nil, false
+}
+
+// NextEventTime returns the timestamp of the next pending event, or Never if
+// the queue is empty.
+func (k *Kernel) NextEventTime() Time {
+	if e, ok := k.peek(); ok {
+		return e.at
+	}
+	return Never
+}
+
+// Ticker invokes a callback every period until cancelled. It is the building
+// block for free-running hardware such as refresh engines and sensors.
+type Ticker struct {
+	kernel *Kernel
+	period Duration
+	fn     func()
+	ev     *Event
+	live   bool
+}
+
+// NewTicker starts a ticker whose first tick fires one period from now.
+func (k *Kernel) NewTicker(period Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive ticker period %v", period))
+	}
+	t := &Ticker{kernel: k, period: period, fn: fn, live: true}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.kernel.Schedule(t.period, func() {
+		if !t.live {
+			return
+		}
+		t.fn()
+		if t.live {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.live = false
+	t.ev.Cancel()
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d, want 8", s.N())
+	}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := s.Min(); got != 2 {
+		t.Errorf("Min = %v, want 2", got)
+	}
+	if got := s.Max(); got != 9 {
+		t.Errorf("Max = %v, want 9", got)
+	}
+	// Sample stddev of this classic dataset: sqrt(32/7) ≈ 2.1381.
+	if got := s.StdDev(); math.Abs(got-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, math.Sqrt(32.0/7.0))
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.StdDev() != 0 || s.Percentile(50) != 0 {
+		t.Error("empty sample should report zeros")
+	}
+}
+
+func TestSamplePercentile(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},
+		{50, 50},
+		{95, 95},
+		{100, 100},
+	}
+	for _, tt := range tests {
+		if got := s.Percentile(tt.p); got != tt.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestSamplePercentileAfterAdd(t *testing.T) {
+	var s Sample
+	s.Add(10)
+	_ = s.Percentile(50)
+	s.Add(1) // must re-sort
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("Percentile(0) = %v after post-sort Add, want 1", got)
+	}
+}
+
+func TestSampleMeanBoundsProperty(t *testing.T) {
+	prop := func(vals []float64) bool {
+		var s Sample
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			// Keep magnitudes sane to avoid float overflow in the sum.
+			s.Add(math.Mod(v, 1e6))
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s := Series{Name: "fig5", XLabel: "frequency_mhz", YLabel: "throughput_mbs"}
+	s.Append(100, 399.06)
+	s.Append(200, 781.84)
+	csv := s.CSV()
+	if !strings.HasPrefix(csv, "frequency_mhz,throughput_mbs\n") {
+		t.Errorf("missing header: %q", csv)
+	}
+	if !strings.Contains(csv, "100,399.06\n") || !strings.Contains(csv, "200,781.84\n") {
+		t.Errorf("missing rows: %q", csv)
+	}
+}
+
+func TestSampleString(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(3)
+	str := s.String()
+	if !strings.Contains(str, "n=2") || !strings.Contains(str, "mean=2") {
+		t.Errorf("String = %q", str)
+	}
+}

@@ -1,0 +1,141 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// hardware substrate in this repository: a picosecond-resolution simulated
+// clock, an event queue with deterministic ordering, a seeded random number
+// generator, and small statistics helpers.
+//
+// All hardware models (AXI, DMA, ICAP, thermal, …) schedule work on a single
+// Kernel so that cross-domain interactions (for example a DMA stalling an
+// ICAP) are ordered exactly and reproducibly.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is an absolute simulated time in picoseconds since simulation start.
+//
+// Picosecond resolution lets clock periods of non-integer nanoseconds
+// (e.g. 1/280 MHz = 3571.43 ps) accumulate without drift while still giving
+// an int64 range of about 106 days of simulated time.
+type Time int64
+
+// Duration is a span of simulated time in picoseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Picosecond  Duration = 1
+	Nanosecond           = 1000 * Picosecond
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+)
+
+// Never is a sentinel Time far beyond any simulation horizon.
+const Never Time = math.MaxInt64
+
+// Add returns t advanced by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e12 }
+
+// Microseconds converts t to floating-point microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / 1e6 }
+
+// String renders the time with an adaptive unit.
+func (t Time) String() string { return Duration(t).String() }
+
+// Seconds converts d to floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e12 }
+
+// Microseconds converts d to floating-point microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / 1e6 }
+
+// Nanoseconds converts d to floating-point nanoseconds.
+func (d Duration) Nanoseconds() float64 { return float64(d) / 1e3 }
+
+// Std converts d to a time.Duration (nanosecond resolution, truncating).
+func (d Duration) Std() time.Duration { return time.Duration(d/1000) * time.Nanosecond }
+
+// String renders the duration with an adaptive unit.
+func (d Duration) String() string {
+	ad := d
+	if ad < 0 {
+		ad = -ad
+	}
+	switch {
+	case ad < Nanosecond:
+		return fmt.Sprintf("%dps", int64(d))
+	case ad < Microsecond:
+		return fmt.Sprintf("%.3fns", d.Nanoseconds())
+	case ad < Millisecond:
+		return fmt.Sprintf("%.3fµs", d.Microseconds())
+	case ad < Second:
+		return fmt.Sprintf("%.3fms", float64(d)/1e9)
+	default:
+		return fmt.Sprintf("%.6fs", d.Seconds())
+	}
+}
+
+// FromSeconds converts floating-point seconds to a Duration, rounding to the
+// nearest picosecond.
+func FromSeconds(s float64) Duration { return Duration(math.Round(s * 1e12)) }
+
+// FromMicroseconds converts floating-point microseconds to a Duration.
+func FromMicroseconds(us float64) Duration { return Duration(math.Round(us * 1e6)) }
+
+// FromNanoseconds converts floating-point nanoseconds to a Duration.
+func FromNanoseconds(ns float64) Duration { return Duration(math.Round(ns * 1e3)) }
+
+// Hz is a frequency in hertz.
+type Hz float64
+
+// Frequency helpers.
+const (
+	KHz Hz = 1e3
+	MHz Hz = 1e6
+	GHz Hz = 1e9
+)
+
+// Period returns the duration of one cycle at frequency f, rounded to the
+// nearest picosecond. It panics for non-positive frequencies because every
+// caller is configuring a physical clock.
+func (f Hz) Period() Duration {
+	if f <= 0 {
+		panic(fmt.Sprintf("sim: non-positive frequency %v", float64(f)))
+	}
+	return Duration(math.Round(1e12 / float64(f)))
+}
+
+// MHzValue returns the frequency expressed in MHz.
+func (f Hz) MHzValue() float64 { return float64(f) / 1e6 }
+
+// String renders the frequency with an adaptive unit.
+func (f Hz) String() string {
+	switch {
+	case f >= GHz:
+		return fmt.Sprintf("%.3fGHz", float64(f)/1e9)
+	case f >= MHz:
+		return fmt.Sprintf("%.3fMHz", float64(f)/1e6)
+	case f >= KHz:
+		return fmt.Sprintf("%.3fkHz", float64(f)/1e3)
+	default:
+		return fmt.Sprintf("%.3fHz", float64(f))
+	}
+}
+
+// Cycles returns the duration of n cycles at frequency f without accumulating
+// per-cycle rounding error: it computes n/f in one step.
+func Cycles(n int64, f Hz) Duration {
+	if f <= 0 {
+		panic(fmt.Sprintf("sim: non-positive frequency %v", float64(f)))
+	}
+	return Duration(math.Round(float64(n) * 1e12 / float64(f)))
+}

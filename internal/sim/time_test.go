@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDurationConstants(t *testing.T) {
+	tests := []struct {
+		name string
+		d    Duration
+		want int64
+	}{
+		{"picosecond", Picosecond, 1},
+		{"nanosecond", Nanosecond, 1e3},
+		{"microsecond", Microsecond, 1e6},
+		{"millisecond", Millisecond, 1e9},
+		{"second", Second, 1e12},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if int64(tt.d) != tt.want {
+				t.Errorf("got %d, want %d", int64(tt.d), tt.want)
+			}
+		})
+	}
+}
+
+func TestHzPeriod(t *testing.T) {
+	tests := []struct {
+		name string
+		f    Hz
+		want Duration
+	}{
+		{"100MHz", 100 * MHz, 10 * Nanosecond},
+		{"200MHz", 200 * MHz, 5 * Nanosecond},
+		{"280MHz", 280 * MHz, Duration(3571)},
+		{"1GHz", GHz, Nanosecond},
+		{"550MHz", 550 * MHz, Duration(1818)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.f.Period(); got != tt.want {
+				t.Errorf("Period(%v) = %v, want %v", tt.f, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestHzPeriodPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero frequency")
+		}
+	}()
+	Hz(0).Period()
+}
+
+func TestCyclesAvoidsPerCycleRounding(t *testing.T) {
+	// 132190 words at 280 MHz: per-cycle rounding of 3571.43ps→3571ps would
+	// lose 0.43ps × 132190 ≈ 57ns; Cycles must compute in one step.
+	n := int64(132190)
+	f := 280 * MHz
+	got := Cycles(n, f)
+	want := Duration(472107143) // round(132190 / 280e6 * 1e12)
+	if got != want {
+		t.Errorf("Cycles(%d, %v) = %d ps, want %d ps", n, f, got, want)
+	}
+	perCycle := Duration(n) * f.Period()
+	if perCycle == got {
+		t.Errorf("expected per-cycle accumulation (%d) to differ from exact (%d)", perCycle, got)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(0)
+	t1 := t0.Add(5 * Microsecond)
+	if t1.Microseconds() != 5 {
+		t.Errorf("Microseconds = %v, want 5", t1.Microseconds())
+	}
+	if d := t1.Sub(t0); d != 5*Microsecond {
+		t.Errorf("Sub = %v, want 5µs", d)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	tests := []struct {
+		d    Duration
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{1500 * Picosecond, "1.500ns"},
+		{2500 * Nanosecond, "2.500µs"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000000s"},
+	}
+	for _, tt := range tests {
+		if got := tt.d.String(); got != tt.want {
+			t.Errorf("%d ps String() = %q, want %q", int64(tt.d), got, tt.want)
+		}
+	}
+}
+
+func TestHzString(t *testing.T) {
+	tests := []struct {
+		f    Hz
+		want string
+	}{
+		{200 * MHz, "200.000MHz"},
+		{1.2 * GHz, "1.200GHz"},
+		{32 * KHz, "32.000kHz"},
+		{50, "50.000Hz"},
+	}
+	for _, tt := range tests {
+		if got := tt.f.String(); got != tt.want {
+			t.Errorf("String(%v) = %q, want %q", float64(tt.f), got, tt.want)
+		}
+	}
+}
+
+func TestFromConversionsRoundTrip(t *testing.T) {
+	prop := func(us uint32) bool {
+		d := FromMicroseconds(float64(us))
+		return d == Duration(us)*Microsecond
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeriodTimesFreqIsUnity(t *testing.T) {
+	// Property: period(f) * f ≈ 1 within one ps of rounding for frequencies
+	// in the range used by the paper (50–600 MHz).
+	prop := func(raw uint16) bool {
+		fMHz := float64(50 + raw%550)
+		f := Hz(fMHz * 1e6)
+		p := f.Period()
+		product := p.Seconds() * float64(f)
+		return product > 0.999 && product < 1.001
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

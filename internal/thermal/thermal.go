@@ -1,0 +1,183 @@
+// Package thermal models the die temperature of the Zynq SoC: a first-order
+// RC thermal circuit driven by the chip's own power dissipation plus the
+// paper's heat gun (Sec. IV-A), and an XADC-style on-die temperature sensor
+// with 12-bit quantization, as read out on the ZedBoard OLED.
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Config describes the thermal circuit.
+type Config struct {
+	// AmbientC is the room temperature around the board.
+	AmbientC float64
+	// RThermal is the junction-to-ambient thermal resistance in °C/W.
+	// With the ZedBoard heat sink, 5.3 °C/W puts the die at the paper's
+	// 40 °C baseline while the ~2.8 W PS+PDR load runs in a 25 °C room.
+	RThermal float64
+	// Tau is the thermal time constant of the die + heat sink.
+	Tau sim.Duration
+	// Step is the integration step of the model.
+	Step sim.Duration
+	// Power returns the chip's current dissipation in watts. May be nil,
+	// in which case self-heating is zero.
+	Power func() float64
+}
+
+// DefaultConfig returns the ZedBoard-like thermal parameters used by the
+// reproduction: 25 °C room, 5.3 °C/W, 2 s time constant, 1 ms step.
+func DefaultConfig() Config {
+	return Config{
+		AmbientC: 25,
+		RThermal: 5.3,
+		Tau:      2 * sim.Second,
+		Step:     sim.Millisecond,
+	}
+}
+
+// Die is the simulated silicon die. It integrates
+//
+//	dT/dt = (T_ss − T) / τ,   T_ss = ambient_eff + P·Rθ
+//
+// where ambient_eff includes the heat-gun contribution.
+type Die struct {
+	cfg    Config
+	kernel *sim.Kernel
+
+	tempC    float64
+	gunBoost float64 // extra effective ambient from the heat gun
+	gun      *HeatGun
+}
+
+// NewDie creates a die at steady state for the configured ambient and
+// current power, and starts its integration ticker on k.
+func NewDie(k *sim.Kernel, cfg Config) *Die {
+	if cfg.Step <= 0 || cfg.Tau <= 0 {
+		panic("thermal: non-positive step or tau")
+	}
+	d := &Die{cfg: cfg, kernel: k}
+	d.tempC = cfg.AmbientC + d.power()*cfg.RThermal
+	k.NewTicker(cfg.Step, d.step)
+	return d
+}
+
+func (d *Die) power() float64 {
+	if d.cfg.Power == nil {
+		return 0
+	}
+	return d.cfg.Power()
+}
+
+func (d *Die) step() {
+	if d.gun != nil {
+		d.gun.servo()
+	}
+	tss := d.cfg.AmbientC + d.gunBoost + d.power()*d.cfg.RThermal
+	alpha := float64(d.cfg.Step) / float64(d.cfg.Tau)
+	if alpha > 1 {
+		alpha = 1
+	}
+	d.tempC += alpha * (tss - d.tempC)
+}
+
+// TempC returns the true die temperature.
+func (d *Die) TempC() float64 { return d.tempC }
+
+// SetTempC forces the die temperature (test hook / initial condition).
+func (d *Die) SetTempC(c float64) { d.tempC = c }
+
+// Sensor returns the XADC reading of the die temperature: the true value
+// passed through the 12-bit transfer function
+//
+//	code = (T + 273.15) · 4096 / 503.975
+//
+// and back, i.e. quantized to ~0.123 °C steps.
+func (d *Die) Sensor() float64 {
+	code := math.Round((d.tempC + 273.15) * 4096 / 503.975)
+	if code < 0 {
+		code = 0
+	}
+	if code > 4095 {
+		code = 4095
+	}
+	return code*503.975/4096 - 273.15
+}
+
+// HeatGun models the paper's heat gun aimed at the Zynq heat sink with the
+// rest of the board at room temperature. It is a servo: the operator watches
+// the OLED temperature and modulates the gun until the die sits at the
+// requested temperature, which the integral controller below reproduces.
+type HeatGun struct {
+	die     *Die
+	targetC float64
+	on      bool
+	gain    float64
+	maxC    float64
+}
+
+// NewHeatGun attaches a heat gun to the die.
+func NewHeatGun(d *Die) *HeatGun {
+	g := &HeatGun{die: d, gain: 0.02, maxC: 250}
+	d.gun = g
+	return g
+}
+
+// SetTargetDie turns the gun on and servos the die to tempC.
+func (g *HeatGun) SetTargetDie(tempC float64) {
+	g.targetC = tempC
+	g.on = true
+}
+
+// Off turns the gun off; the die relaxes back to self-heated steady state.
+func (g *HeatGun) Off() { g.on = false }
+
+// On reports whether the gun is active.
+func (g *HeatGun) On() bool { return g.on }
+
+// servo is called from the die integration step.
+func (g *HeatGun) servo() {
+	if !g.on {
+		// The gun cools down (boost decays) once switched off.
+		g.die.gunBoost *= 0.99
+		if g.die.gunBoost < 0.01 {
+			g.die.gunBoost = 0
+		}
+		return
+	}
+	err := g.targetC - g.die.tempC
+	g.die.gunBoost += g.gain * err
+	if g.die.gunBoost < 0 {
+		g.die.gunBoost = 0
+	}
+	if g.die.gunBoost > g.maxC {
+		g.die.gunBoost = g.maxC
+	}
+}
+
+// StabilizeAt drives the die to tempC (via the heat gun, or gun-off if the
+// target is at/below the self-heated steady state) and runs the kernel until
+// the sensor reads within tol of the target or the timeout elapses. It
+// returns the achieved temperature and whether it converged.
+func (g *HeatGun) StabilizeAt(tempC, tol float64, timeout sim.Duration) (float64, bool) {
+	g.SetTargetDie(tempC)
+	deadline := g.die.kernel.Now().Add(timeout)
+	for g.die.kernel.Now() < deadline {
+		g.die.kernel.RunFor(10 * g.die.cfg.Step)
+		if math.Abs(g.die.tempC-tempC) <= tol {
+			return g.die.tempC, true
+		}
+	}
+	return g.die.tempC, false
+}
+
+// String describes the gun state.
+func (g *HeatGun) String() string {
+	if !g.on {
+		return "heatgun(off)"
+	}
+	return fmt.Sprintf("heatgun(target=%.1f°C boost=%.1f°C)", g.targetC, g.die.gunBoost)
+}

@@ -1,0 +1,163 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestDieStartsAtSteadyState(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultConfig()
+	cfg.Power = func() float64 { return 1.25 }
+	d := NewDie(k, cfg)
+	want := 25 + 1.25*cfg.RThermal
+	if math.Abs(d.TempC()-want) > 1e-9 {
+		t.Errorf("initial temp = %v, want %v", d.TempC(), want)
+	}
+}
+
+func TestDieSelfHeatingConverges(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultConfig()
+	p := 0.0
+	cfg.Power = func() float64 { return p }
+	d := NewDie(k, cfg)
+	if math.Abs(d.TempC()-25) > 1e-9 {
+		t.Fatalf("cold start = %v, want 25", d.TempC())
+	}
+	p = 2.0 // turn on 2 W
+	k.RunFor(20 * sim.Second)
+	want := 25 + 2*cfg.RThermal
+	if math.Abs(d.TempC()-want) > 0.1 {
+		t.Errorf("steady state = %v, want %v", d.TempC(), want)
+	}
+}
+
+func TestDieExponentialApproach(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultConfig()
+	p := 0.0
+	cfg.Power = func() float64 { return p }
+	d := NewDie(k, cfg)
+	p = 2.0
+	k.RunFor(cfg.Tau) // one time constant
+	// After one τ the response reaches ≈63.2% of the 2W·Rθ step.
+	want := 25 + 2*cfg.RThermal*(1-math.Exp(-1))
+	if math.Abs(d.TempC()-want) > 0.3 {
+		t.Errorf("after 1τ temp = %v, want ≈%v", d.TempC(), want)
+	}
+}
+
+func TestSensorQuantization(t *testing.T) {
+	k := sim.NewKernel()
+	d := NewDie(k, DefaultConfig())
+	d.SetTempC(40.05)
+	r := d.Sensor()
+	// Reading must be within one LSB (≈0.123 °C) of the true value…
+	if math.Abs(r-40.05) > 0.124 {
+		t.Errorf("sensor = %v, want within 1 LSB of 40.05", r)
+	}
+	// …and must sit exactly on the quantization grid.
+	code := (r + 273.15) * 4096 / 503.975
+	if math.Abs(code-math.Round(code)) > 1e-6 {
+		t.Errorf("sensor %v not on ADC grid (code %v)", r, code)
+	}
+}
+
+func TestSensorClampsToADCRange(t *testing.T) {
+	k := sim.NewKernel()
+	d := NewDie(k, DefaultConfig())
+	d.SetTempC(-300) // non-physical, must clamp to code 0
+	if got := d.Sensor(); math.Abs(got-(-273.15)) > 1e-6 {
+		t.Errorf("low clamp = %v", got)
+	}
+	d.SetTempC(1000)
+	if got := d.Sensor(); got > 4095*503.975/4096-273.15+1e-6 {
+		t.Errorf("high clamp = %v", got)
+	}
+}
+
+func TestHeatGunReachesPaperTemperatures(t *testing.T) {
+	// The paper stresses the die from 40 °C to 100 °C in 10 °C steps.
+	k := sim.NewKernel()
+	cfg := DefaultConfig()
+	cfg.Power = func() float64 { return 1.2 }
+	d := NewDie(k, cfg)
+	g := NewHeatGun(d)
+	for temp := 40.0; temp <= 100; temp += 10 {
+		got, ok := g.StabilizeAt(temp, 0.5, 2*sim.Minute)
+		if !ok {
+			t.Fatalf("did not stabilize at %v°C (got %v)", temp, got)
+		}
+		if math.Abs(got-temp) > 0.5 {
+			t.Errorf("target %v°C: stabilized at %v", temp, got)
+		}
+	}
+}
+
+func TestHeatGunOffRelaxes(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultConfig()
+	cfg.Power = func() float64 { return 1.0 }
+	d := NewDie(k, cfg)
+	g := NewHeatGun(d)
+	if _, ok := g.StabilizeAt(90, 0.5, 2*sim.Minute); !ok {
+		t.Fatal("did not reach 90°C")
+	}
+	g.Off()
+	k.RunFor(60 * sim.Second)
+	want := 25 + 1.0*cfg.RThermal
+	if math.Abs(d.TempC()-want) > 2 {
+		t.Errorf("after gun off temp = %v, want ≈%v", d.TempC(), want)
+	}
+	if g.On() {
+		t.Error("gun should report off")
+	}
+}
+
+func TestHeatGunString(t *testing.T) {
+	k := sim.NewKernel()
+	d := NewDie(k, DefaultConfig())
+	g := NewHeatGun(d)
+	if g.String() != "heatgun(off)" {
+		t.Errorf("String = %q", g.String())
+	}
+	g.SetTargetDie(80)
+	if g.String() == "heatgun(off)" {
+		t.Error("String should report target when on")
+	}
+}
+
+func TestDiePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDie(sim.NewKernel(), Config{Step: 0, Tau: sim.Second})
+}
+
+func TestSensorMonotoneProperty(t *testing.T) {
+	// Property: the quantized sensor is monotone non-decreasing in the true
+	// temperature.
+	k := sim.NewKernel()
+	d := NewDie(k, DefaultConfig())
+	prop := func(a, b uint8) bool {
+		t1 := 20 + float64(a)/2 // 20..147.5
+		t2 := 20 + float64(b)/2
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		d.SetTempC(t1)
+		r1 := d.Sensor()
+		d.SetTempC(t2)
+		r2 := d.Sensor()
+		return r1 <= r2+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,176 @@
+// Package timing models why over-clocking eventually fails: the DMA/ICAP
+// control and data paths have critical-path delays that grow with die
+// temperature (and shrink with supply voltage), and a clock period shorter
+// than the path delay produces a timing violation.
+//
+// Two distinct paths explain the paper's observations (Table I, Sec. IV-A):
+//
+//   - the CONTROL path (completion-interrupt logic) fails first: at 40 °C it
+//     stops meeting timing around 300 MHz, so at 310 MHz the transfer
+//     completes but the interrupt is never asserted ("N/A no interrupt",
+//     CRC still valid);
+//   - the DATA path fails around 315 MHz at 40 °C, so at 320 MHz and above
+//     the bitstream is corrupted in flight and the CRC read-back reports an
+//     error ("not valid").
+//
+// Temperature derating moves both thresholds down; the data path crosses
+// 310 MHz between 90 °C and 100 °C, reproducing the single failing cell of
+// the paper's temperature-stress matrix (310 MHz @ 100 °C).
+package timing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Outcome classifies a transfer attempt at a given operating point.
+type Outcome int
+
+const (
+	// OK: all paths meet timing; transfer completes and interrupts fire.
+	OK Outcome = iota + 1
+	// Hang: the control path violates timing. Data reaches the
+	// configuration memory intact but the completion interrupt is lost, so
+	// the software-visible latency is unmeasurable.
+	Hang
+	// Corrupt: the data path violates timing; configuration words are
+	// corrupted and the CRC read-back detects an invalid bitstream.
+	Corrupt
+	// Freeze: gross violation that wedges the configuration interface
+	// entirely (observed by VF-2012 above 300 MHz). The device needs a full
+	// reconfiguration to recover.
+	Freeze
+)
+
+// String renders the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case Hang:
+		return "hang"
+	case Corrupt:
+		return "corrupt"
+	case Freeze:
+		return "freeze"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Path is one critical path with first-order temperature and voltage
+// derating: delay(T,V) = Delay40 · (1 + TempCoeff·(T−40)) · (1 + VoltCoeff·(Vnom−V)).
+type Path struct {
+	// Delay40 is the path delay at 40 °C and nominal voltage.
+	Delay40 sim.Duration
+	// TempCoeff is the fractional delay increase per °C above 40 °C.
+	TempCoeff float64
+	// VoltCoeff is the fractional delay increase per volt below nominal.
+	VoltCoeff float64
+}
+
+// Delay returns the derated path delay at die temperature tempC (°C) and
+// supply voltage vdd (V), with nominal voltage vnom.
+func (p Path) Delay(tempC, vdd, vnom float64) sim.Duration {
+	d := float64(p.Delay40)
+	d *= 1 + p.TempCoeff*(tempC-40)
+	d *= 1 + p.VoltCoeff*(vnom-vdd)
+	return sim.Duration(math.Round(d))
+}
+
+// MaxFreq returns the highest frequency at which the path still meets
+// timing at the given operating point.
+func (p Path) MaxFreq(tempC, vdd, vnom float64) sim.Hz {
+	d := p.Delay(tempC, vdd, vnom)
+	if d <= 0 {
+		return sim.Hz(math.Inf(1))
+	}
+	return sim.Hz(1e12 / float64(d))
+}
+
+// Model holds the calibrated paths of the over-clocked configuration
+// circuitry (DMA + ICAP + interrupt logic).
+type Model struct {
+	// Control is the completion-interrupt path (fails first).
+	Control Path
+	// Data is the bitstream data path.
+	Data Path
+	// FreezeFreq is the frequency above which the configuration interface
+	// wedges entirely. The paper's platform never froze up to 360 MHz; the
+	// VF-2012 baseline freezes above 300 MHz.
+	FreezeFreq sim.Hz
+	// VNom is the nominal PL supply voltage (VCCINT).
+	VNom float64
+}
+
+// DefaultModel returns the model calibrated to the paper's Zynq-7020:
+//
+//   - control path meets timing below 300 MHz at 40 °C;
+//   - data path meets timing below 315 MHz at 40 °C;
+//   - derating 2.8e-4 /°C puts the data-path limit at 310.6 MHz @ 90 °C
+//     (310 MHz passes) and 309.8 MHz @ 100 °C (310 MHz fails), matching the
+//     temperature-stress result;
+//   - no freeze observed up to the 360 MHz the authors tried.
+func DefaultModel() *Model {
+	return &Model{
+		Control:    Path{Delay40: sim.FromNanoseconds(1e3 / 300.0), TempCoeff: 2.8e-4, VoltCoeff: 0.45},
+		Data:       Path{Delay40: sim.FromNanoseconds(1e3 / 315.0), TempCoeff: 2.8e-4, VoltCoeff: 0.45},
+		FreezeFreq: 500 * sim.MHz,
+		VNom:       1.0,
+	}
+}
+
+// Classify returns the outcome of operating the configuration path at
+// frequency f, die temperature tempC and supply voltage vdd.
+func (m *Model) Classify(f sim.Hz, tempC, vdd float64) Outcome {
+	if f >= m.FreezeFreq {
+		return Freeze
+	}
+	period := float64(f.Period())
+	if period < float64(m.Data.Delay(tempC, vdd, m.VNom)) {
+		return Corrupt
+	}
+	if period < float64(m.Control.Delay(tempC, vdd, m.VNom)) {
+		return Hang
+	}
+	return OK
+}
+
+// ClassifyNominal is Classify at nominal voltage.
+func (m *Model) ClassifyNominal(f sim.Hz, tempC float64) Outcome {
+	return m.Classify(f, tempC, m.VNom)
+}
+
+// CorruptionRate returns the probability that any given 32-bit configuration
+// word is corrupted when the data path violates timing. It grows with the
+// relative violation: marginal violations flip occasional bits, gross ones
+// destroy the stream. Returns 0 when the data path meets timing.
+func (m *Model) CorruptionRate(f sim.Hz, tempC, vdd float64) float64 {
+	limit := m.Data.MaxFreq(tempC, vdd, m.VNom)
+	if f <= limit {
+		return 0
+	}
+	over := (float64(f) - float64(limit)) / float64(limit)
+	// 1.6% overdrive (320 vs 315) ⇒ ~3% of words corrupted: more than
+	// enough for the CRC to catch every transfer deterministically.
+	rate := over * 2.0
+	if rate > 1 {
+		rate = 1
+	}
+	return rate
+}
+
+// GuardBandFreq returns the highest "safe" frequency with the given relative
+// margin at the worst-case temperature. The optimizer uses it to derate its
+// recommendation (e.g. 10% margin at 100 °C).
+func (m *Model) GuardBandFreq(worstTempC, margin float64) sim.Hz {
+	ctrl := m.Control.MaxFreq(worstTempC, m.VNom, m.VNom)
+	data := m.Data.MaxFreq(worstTempC, m.VNom, m.VNom)
+	limit := ctrl
+	if data < limit {
+		limit = data
+	}
+	return sim.Hz(float64(limit) * (1 - margin))
+}

@@ -1,0 +1,207 @@
+package timing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func mhz(f float64) sim.Hz { return sim.Hz(f * 1e6) }
+
+func TestTableIOutcomesAt40C(t *testing.T) {
+	// Table I of the paper: 100–280 MHz work, 310 MHz hangs (no interrupt,
+	// CRC valid), 320 and 360 MHz corrupt the bitstream.
+	m := DefaultModel()
+	tests := []struct {
+		freqMHz float64
+		want    Outcome
+	}{
+		{100, OK},
+		{140, OK},
+		{180, OK},
+		{200, OK},
+		{240, OK},
+		{280, OK},
+		{310, Hang},
+		{320, Corrupt},
+		{360, Corrupt},
+	}
+	for _, tt := range tests {
+		if got := m.ClassifyNominal(mhz(tt.freqMHz), 40); got != tt.want {
+			t.Errorf("Classify(%v MHz, 40°C) = %v, want %v", tt.freqMHz, got, tt.want)
+		}
+	}
+}
+
+func TestTemperatureStressMatrix(t *testing.T) {
+	// Sec. IV-A: frequencies up to 310 MHz, temperatures 40–100 °C in 10 °C
+	// steps. Every cell keeps CRC-valid data (OK or Hang) EXCEPT
+	// 310 MHz @ 100 °C, which must corrupt.
+	m := DefaultModel()
+	for _, fMHz := range []float64{100, 140, 180, 200, 240, 280, 310} {
+		for temp := 40.0; temp <= 100; temp += 10 {
+			got := m.ClassifyNominal(mhz(fMHz), temp)
+			dataValid := got == OK || got == Hang
+			if fMHz == 310 && temp == 100 {
+				if dataValid {
+					t.Errorf("310 MHz @ 100°C: got %v, want data corruption", got)
+				}
+				continue
+			}
+			if !dataValid {
+				t.Errorf("%v MHz @ %v°C: got %v, want data-valid", fMHz, temp, got)
+			}
+		}
+	}
+}
+
+func TestOperationalRangeUnaffectedByTemperature(t *testing.T) {
+	// 100–280 MHz must be fully operational (interrupt fires) at every
+	// tested temperature: the paper's stress tests all succeeded there.
+	m := DefaultModel()
+	for _, fMHz := range []float64{100, 140, 180, 200, 240, 280} {
+		for temp := 40.0; temp <= 100; temp += 10 {
+			if got := m.ClassifyNominal(mhz(fMHz), temp); got != OK {
+				t.Errorf("%v MHz @ %v°C: got %v, want OK", fMHz, temp, got)
+			}
+		}
+	}
+}
+
+func TestPathDelayDerating(t *testing.T) {
+	p := Path{Delay40: 1000 * sim.Picosecond, TempCoeff: 1e-3, VoltCoeff: 0.5}
+	if d := p.Delay(40, 1.0, 1.0); d != 1000 {
+		t.Errorf("baseline delay = %v, want 1000ps", d)
+	}
+	if d := p.Delay(140, 1.0, 1.0); d != 1100 {
+		t.Errorf("hot delay = %v, want 1100ps (+10%%)", d)
+	}
+	if d := p.Delay(40, 0.9, 1.0); d != 1050 {
+		t.Errorf("undervolted delay = %v, want 1050ps (+5%%)", d)
+	}
+	// Over-volting speeds the path up.
+	if d := p.Delay(40, 1.1, 1.0); d != 950 {
+		t.Errorf("overvolted delay = %v, want 950ps", d)
+	}
+}
+
+func TestMaxFreqInverseOfDelay(t *testing.T) {
+	p := Path{Delay40: 2 * sim.Nanosecond}
+	f := p.MaxFreq(40, 1.0, 1.0)
+	if f < 499*sim.MHz || f > 501*sim.MHz {
+		t.Errorf("MaxFreq = %v, want 500MHz", f)
+	}
+}
+
+func TestCorruptionRate(t *testing.T) {
+	m := DefaultModel()
+	if r := m.CorruptionRate(mhz(280), 40, 1.0); r != 0 {
+		t.Errorf("280 MHz @ 40°C corruption = %v, want 0", r)
+	}
+	if r := m.CorruptionRate(mhz(310), 40, 1.0); r != 0 {
+		t.Errorf("310 MHz @ 40°C corruption = %v, want 0 (hang only)", r)
+	}
+	r320 := m.CorruptionRate(mhz(320), 40, 1.0)
+	if r320 <= 0 {
+		t.Errorf("320 MHz @ 40°C corruption = %v, want > 0", r320)
+	}
+	r360 := m.CorruptionRate(mhz(360), 40, 1.0)
+	if r360 <= r320 {
+		t.Errorf("corruption must grow with overdrive: %v !> %v", r360, r320)
+	}
+	// With a 529 KB bitstream (132k words), even the 320 MHz rate must make
+	// a clean transfer astronomically unlikely.
+	if r320 < 1e-4 {
+		t.Errorf("320 MHz corruption rate %v too low to guarantee CRC detection", r320)
+	}
+}
+
+func TestFreezeOutcome(t *testing.T) {
+	m := DefaultModel()
+	m.FreezeFreq = 300 * sim.MHz // VF-2012-style platform
+	if got := m.ClassifyNominal(mhz(350), 40); got != Freeze {
+		t.Errorf("got %v, want Freeze", got)
+	}
+}
+
+func TestGuardBandFreq(t *testing.T) {
+	m := DefaultModel()
+	g := m.GuardBandFreq(100, 0.10)
+	// Data/control limit at 100 °C is ≈295 MHz (control path), minus 10%.
+	if g < mhz(255) || g > mhz(275) {
+		t.Errorf("GuardBandFreq(100°C, 10%%) = %v, want ≈265 MHz", g)
+	}
+	// The guard-banded frequency must be fully operational at the worst
+	// temperature — that is its contract.
+	if got := m.ClassifyNominal(g, 100); got != OK {
+		t.Errorf("guard-band frequency %v not OK at 100°C: %v", g, got)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	tests := []struct {
+		o    Outcome
+		want string
+	}{
+		{OK, "ok"}, {Hang, "hang"}, {Corrupt, "corrupt"}, {Freeze, "freeze"}, {Outcome(99), "Outcome(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.o.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.o), got, tt.want)
+		}
+	}
+}
+
+func TestMonotonicityProperties(t *testing.T) {
+	m := DefaultModel()
+	// Property 1: outcome severity is monotone in frequency at fixed T.
+	severity := func(o Outcome) int {
+		switch o {
+		case OK:
+			return 0
+		case Hang:
+			return 1
+		case Corrupt:
+			return 2
+		default:
+			return 3
+		}
+	}
+	prop1 := func(a, b uint16, tRaw uint8) bool {
+		f1 := float64(100 + a%400)
+		f2 := float64(100 + b%400)
+		if f1 > f2 {
+			f1, f2 = f2, f1
+		}
+		temp := float64(40 + tRaw%61)
+		return severity(m.ClassifyNominal(mhz(f1), temp)) <= severity(m.ClassifyNominal(mhz(f2), temp))
+	}
+	if err := quick.Check(prop1, &quick.Config{MaxCount: 300}); err != nil {
+		t.Errorf("severity not monotone in frequency: %v", err)
+	}
+	// Property 2: severity is monotone in temperature at fixed f.
+	prop2 := func(fRaw uint16, a, b uint8) bool {
+		f := mhz(float64(100 + fRaw%400))
+		t1 := float64(40 + a%61)
+		t2 := float64(40 + b%61)
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		return severity(m.ClassifyNominal(f, t1)) <= severity(m.ClassifyNominal(f, t2))
+	}
+	if err := quick.Check(prop2, &quick.Config{MaxCount: 300}); err != nil {
+		t.Errorf("severity not monotone in temperature: %v", err)
+	}
+}
+
+func TestActiveFeedbackVoltageHelps(t *testing.T) {
+	// HP-2011 uses active feedback to keep voltage nominal; a sagging rail
+	// must strictly reduce the data-path limit.
+	m := DefaultModel()
+	fNom := m.Data.MaxFreq(40, 1.0, 1.0)
+	fSag := m.Data.MaxFreq(40, 0.95, 1.0)
+	if fSag >= fNom {
+		t.Errorf("voltage sag should lower the limit: %v !< %v", fSag, fNom)
+	}
+}

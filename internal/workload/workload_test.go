@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+func TestLibraryWellFormed(t *testing.T) {
+	lib := Library()
+	if len(lib) < 5 {
+		t.Fatalf("library has %d ASPs, want ≥5", len(lib))
+	}
+	seen := map[string]bool{}
+	for _, a := range lib {
+		if seen[a.Name] {
+			t.Errorf("duplicate ASP %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.FillFraction <= 0 || a.FillFraction > 1 {
+			t.Errorf("%s: fill %v", a.Name, a.FillFraction)
+		}
+		if a.ComputeTime <= 0 || a.ClockMHz <= 0 {
+			t.Errorf("%s: bad compute/clock", a.Name)
+		}
+	}
+}
+
+func TestLibraryASPLookup(t *testing.T) {
+	if _, err := LibraryASP("fir128"); err != nil {
+		t.Error(err)
+	}
+	if _, err := LibraryASP("nope"); err == nil {
+		t.Error("unknown ASP should fail")
+	}
+}
+
+func TestFramesMatchRegionAndAreDeterministic(t *testing.T) {
+	dev := fabric.Z7020()
+	rp := fabric.StandardRPs(dev)[0]
+	asp, _ := LibraryASP("aes-gcm")
+	f1 := asp.Frames(dev, rp)
+	f2 := asp.Frames(dev, rp)
+	if len(f1) != dev.RegionFrames(rp) {
+		t.Fatalf("frames = %d", len(f1))
+	}
+	for i := range f1 {
+		for w := range f1[i] {
+			if f1[i][w] != f2[i][w] {
+				t.Fatal("frames not deterministic")
+			}
+		}
+	}
+}
+
+func TestFramesDifferAcrossASPsAndRPs(t *testing.T) {
+	dev := fabric.Z7020()
+	rps := fabric.StandardRPs(dev)
+	a, _ := LibraryASP("fir128")
+	b, _ := LibraryASP("sha3")
+	ca := bitstream.FrameCRC(a.Frames(dev, rps[0]))
+	cb := bitstream.FrameCRC(b.Frames(dev, rps[0]))
+	ca2 := bitstream.FrameCRC(a.Frames(dev, rps[1]))
+	if ca == cb {
+		t.Error("different ASPs produced identical frames")
+	}
+	if ca == ca2 {
+		t.Error("same ASP on different RPs should differ (placement)")
+	}
+}
+
+func TestBitstreamBuildsAtCalibratedSize(t *testing.T) {
+	dev := fabric.Z7020()
+	rp := fabric.StandardRPs(dev)[0]
+	for _, asp := range Library() {
+		bs, err := asp.Bitstream(dev, rp)
+		if err != nil {
+			t.Fatalf("%s: %v", asp.Name, err)
+		}
+		if bs.Size() != 528760 {
+			t.Errorf("%s: size %d, want 528760", asp.Name, bs.Size())
+		}
+	}
+}
+
+func TestFillFractionDrivesCompressibility(t *testing.T) {
+	dev := fabric.Z7020()
+	rp := fabric.StandardRPs(dev)[0]
+	sparse := ASP{Name: "sparse", FillFraction: 0.3, Seed: 1}
+	dense := ASP{Name: "dense", FillFraction: 0.9, Seed: 2}
+	ratio := func(a ASP) float64 {
+		bs, err := a.Bitstream(dev, rp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp, err := bitstream.Compress(bs.Raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bitstream.CompressionRatio(bs.Raw, comp)
+	}
+	rs, rd := ratio(sparse), ratio(dense)
+	if rs <= rd {
+		t.Errorf("sparse ratio %v should exceed dense %v", rs, rd)
+	}
+	if rs < 2 {
+		t.Errorf("sparse design should compress ≥2× (got %v)", rs)
+	}
+}
+
+func TestPoissonTraceProperties(t *testing.T) {
+	rps := []string{"RP1", "RP2"}
+	asps := []string{"fir128", "sha3"}
+	tr := PoissonTrace(7, 200, sim.Millisecond, rps, asps)
+	if len(tr) != 200 {
+		t.Fatalf("len = %d", len(tr))
+	}
+	if err := tr.Validate(rps, asps); err != nil {
+		t.Fatal(err)
+	}
+	// Mean gap ≈ 1 ms within 20%.
+	mean := float64(tr[len(tr)-1].At) / float64(len(tr))
+	if mean < 0.8e9 || mean > 1.2e9 {
+		t.Errorf("mean gap = %v ps, want ≈1e9", mean)
+	}
+	// Determinism.
+	tr2 := PoissonTrace(7, 200, sim.Millisecond, rps, asps)
+	for i := range tr {
+		if tr[i] != tr2[i] {
+			t.Fatal("trace not deterministic")
+		}
+	}
+}
+
+func TestRoundRobinTrace(t *testing.T) {
+	rps := []string{"RP1", "RP2"}
+	asps := []string{"a", "b", "c"}
+	tr := RoundRobinTrace(6, sim.Millisecond, rps, asps)
+	if err := tr.Validate(rps, []string{"a", "b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if tr[0].RP != "RP1" || tr[1].RP != "RP2" || tr[2].RP != "RP1" {
+		t.Error("RP rotation wrong")
+	}
+	if tr[0].ASP != "a" || tr[1].ASP != "b" || tr[2].ASP != "c" || tr[3].ASP != "a" {
+		t.Error("ASP rotation wrong")
+	}
+}
+
+func TestTraceValidateCatchesBadRefs(t *testing.T) {
+	tr := Trace{{At: 1, RP: "RPX", ASP: "fir128"}}
+	if err := tr.Validate([]string{"RP1"}, []string{"fir128"}); err == nil {
+		t.Error("unknown RP should fail")
+	}
+	tr = Trace{{At: 2, RP: "RP1", ASP: "zzz"}}
+	if err := tr.Validate([]string{"RP1"}, []string{"fir128"}); err == nil {
+		t.Error("unknown ASP should fail")
+	}
+	tr = Trace{{At: 5, RP: "RP1", ASP: "fir128"}, {At: 1, RP: "RP1", ASP: "fir128"}}
+	if err := tr.Validate([]string{"RP1"}, []string{"fir128"}); err == nil {
+		t.Error("out-of-order trace should fail")
+	}
+}

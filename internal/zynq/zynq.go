@@ -1,0 +1,259 @@
+// Package zynq assembles the Zynq-7000 SoC model: the Processing System
+// (CPU, interrupt dispatch, global timer), the Programmable Logic with the
+// paper's configuration-path design (Clock Wizard, DMA, ICAP, CRC read-back
+// monitor), the HP-port/DDR path, PCAP static configuration, and the
+// physical coupling between power, temperature and timing.
+package zynq
+
+import (
+	"fmt"
+
+	"repro/internal/axi"
+	"repro/internal/clock"
+	"repro/internal/crcmon"
+	"repro/internal/dma"
+	"repro/internal/dram"
+	"repro/internal/fabric"
+	"repro/internal/icap"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/thermal"
+	"repro/internal/timing"
+)
+
+// IRQ identifies an interrupt line into the PS GIC.
+type IRQ int
+
+// Interrupt lines used by the design (Fig. 2 of the paper).
+const (
+	IRQDMADone IRQ = iota + 61 // PL-to-PS shared peripheral interrupts
+	IRQCRCResult
+	IRQRPStatus
+)
+
+// PS models the processing system's pieces the experiments touch.
+type PS struct {
+	kernel *sim.Kernel
+
+	// DispatchLatency is GIC + context cost from line assertion to handler
+	// entry; HandlerOverhead is the C handler's own work (status reads,
+	// timer stop). Both are part of the calibrated fixed per-transfer cost.
+	DispatchLatency sim.Duration
+	HandlerOverhead sim.Duration
+
+	handlers map[IRQ]func()
+	timerOn  bool
+	timerT0  sim.Time
+}
+
+// NewPS creates the processing system with ZedBoard-calibrated latencies.
+func NewPS(k *sim.Kernel) *PS {
+	return &PS{
+		kernel:          k,
+		DispatchLatency: 900 * sim.Nanosecond,
+		HandlerOverhead: 1000 * sim.Nanosecond,
+		handlers:        make(map[IRQ]func()),
+	}
+}
+
+// Handle installs an interrupt handler.
+func (ps *PS) Handle(irq IRQ, fn func()) { ps.handlers[irq] = fn }
+
+// Raise asserts an interrupt line; the handler runs after dispatch and its
+// own overhead (the handler-visible time is when its work finishes, which is
+// when the C program reads the timer).
+func (ps *PS) Raise(irq IRQ) {
+	fn, ok := ps.handlers[irq]
+	if !ok {
+		return // unhandled interrupts are dropped, as with a masked GIC line
+	}
+	ps.kernel.Schedule(ps.DispatchLatency+ps.HandlerOverhead, fn)
+}
+
+// TimerStart arms the C-timer (XTime_GetTime-style measurement).
+func (ps *PS) TimerStart() {
+	ps.timerOn = true
+	ps.timerT0 = ps.kernel.Now()
+}
+
+// TimerStop reads the timer; it returns the elapsed duration since
+// TimerStart.
+func (ps *PS) TimerStop() sim.Duration {
+	if !ps.timerOn {
+		return 0
+	}
+	ps.timerOn = false
+	return ps.kernel.Now().Sub(ps.timerT0)
+}
+
+// Platform is the assembled SoC + configuration-path design.
+type Platform struct {
+	Kernel *sim.Kernel
+	PS     *PS
+
+	Device *fabric.Device
+	Memory *fabric.Memory
+	RPs    []fabric.Region
+
+	// OverclockDomain clocks the DMA/ICAP/CRC blocks (the paper's
+	// "OVERCLOCK" net); Wizard re-programs it.
+	OverclockDomain *clock.Domain
+	Wizard          *clock.Wizard
+	// ClockManager provides the per-RP ASP clocks (CLK 1–5 in Fig. 1).
+	ClockManager *clock.Manager
+
+	Timing *timing.Model
+	Die    *thermal.Die
+	Gun    *thermal.HeatGun
+	Power  *power.Model
+
+	DDR      *dram.Controller
+	LiteBus  *axi.LiteBus
+	DMA      *dma.Engine
+	ICAP     *icap.Port
+	Monitors map[string]*crcmon.Monitor
+
+	plConfigured bool
+}
+
+// Options tune platform construction.
+type Options struct {
+	// Seed drives all stochastic models (corruption patterns).
+	Seed uint64
+	// AmbientC is the room temperature (default 25 °C).
+	AmbientC float64
+	// NominalMHz is the initial over-clock-domain frequency (default 100).
+	NominalMHz float64
+	// FastThermal shrinks the thermal time constant for tests that do not
+	// care about heating transients.
+	FastThermal bool
+	// DRAMParams overrides the memory-path parameters (ablations); nil
+	// keeps the calibrated defaults.
+	DRAMParams *dram.Params
+}
+
+// NewPlatform builds the full SoC with the paper's PL design loaded
+// (statically, via PCAP) and all physical couplings wired.
+func NewPlatform(opts Options) (*Platform, error) {
+	if opts.AmbientC == 0 {
+		opts.AmbientC = 25
+	}
+	if opts.NominalMHz == 0 {
+		opts.NominalMHz = 100
+	}
+	k := sim.NewKernel()
+	dev := fabric.Z7020()
+	p := &Platform{
+		Kernel:   k,
+		PS:       NewPS(k),
+		Device:   dev,
+		Memory:   fabric.NewMemory(dev),
+		RPs:      fabric.StandardRPs(dev),
+		Timing:   timing.DefaultModel(),
+		Monitors: make(map[string]*crcmon.Monitor),
+	}
+
+	p.OverclockDomain = clock.NewDomain("overclock", sim.Hz(opts.NominalMHz*1e6))
+	wiz, err := clock.NewWizard(k, 100*sim.MHz, p.OverclockDomain)
+	if err != nil {
+		return nil, fmt.Errorf("zynq: %w", err)
+	}
+	p.Wizard = wiz
+	p.ClockManager = clock.NewManager(100*sim.MHz, "clk1", "clk2", "clk3", "clk4", "clk5")
+
+	// Power model driven by live frequency/temperature.
+	p.Power = power.NewModel(power.DefaultParams())
+	p.Power.FreqMHz = func() float64 { return p.OverclockDomain.Freq().MHzValue() }
+	p.Power.PLActive = func() bool { return p.plConfigured }
+
+	// Thermal model heated by the chip, measured by the XADC.
+	tcfg := thermal.DefaultConfig()
+	tcfg.AmbientC = opts.AmbientC
+	if opts.FastThermal {
+		tcfg.Tau = 50 * sim.Millisecond
+		tcfg.Step = sim.Millisecond
+	}
+	tcfg.Power = func() float64 { return p.Power.ChipHeat() }
+	p.Die = thermal.NewDie(k, tcfg)
+	p.Gun = thermal.NewHeatGun(p.Die)
+	p.Power.TempC = func() float64 { return p.Die.TempC() }
+
+	// Memory path and configuration path.
+	dparams := dram.DefaultParams()
+	if opts.DRAMParams != nil {
+		dparams = *opts.DRAMParams
+	}
+	p.DDR = dram.NewController(k, dparams)
+	p.LiteBus = axi.NewLiteBus(k)
+	p.ICAP = icap.New(icap.Config{
+		Kernel: k,
+		Domain: p.OverclockDomain,
+		Memory: p.Memory,
+		Timing: p.Timing,
+		TempC:  func() float64 { return p.Die.TempC() },
+		Seed:   opts.Seed,
+	})
+	p.DMA = dma.New(dma.Config{
+		Kernel: k,
+		Bus:    p.LiteBus,
+		DRAM:   p.DDR,
+		Domain: p.OverclockDomain,
+		IRQGate: func() bool {
+			return p.Timing.ClassifyNominal(p.OverclockDomain.Freq(), p.Die.TempC()) == timing.OK
+		},
+	})
+	for _, rp := range p.RPs {
+		p.Monitors[rp.Name] = crcmon.New(crcmon.Config{
+			Kernel: k,
+			Port:   p.ICAP,
+			Timing: p.Timing,
+			TempC:  func() float64 { return p.Die.TempC() },
+			Region: rp,
+		})
+	}
+	return p, nil
+}
+
+// ConfigureStatic models the PCAP loading the static design at boot
+// (the full bitstream cannot go through the ICAP — the ICAP is part of it).
+// It advances simulated time by the PCAP transfer and marks the PL live.
+func (p *Platform) ConfigureStatic() {
+	// PCAP moves the ~3.3 MB full image at its ~145 MB/s effective rate.
+	full := float64(p.Device.ConfigBytes())
+	p.Kernel.RunFor(sim.FromSeconds(full / 145e6))
+	p.plConfigured = true
+}
+
+// PLConfigured reports whether the static design is live.
+func (p *Platform) PLConfigured() bool { return p.plConfigured }
+
+// RP returns the named reconfigurable partition.
+func (p *Platform) RP(name string) (fabric.Region, error) {
+	for _, rp := range p.RPs {
+		if rp.Name == name {
+			return rp, nil
+		}
+	}
+	return fabric.Region{}, fmt.Errorf("zynq: unknown RP %q", name)
+}
+
+// SetOverclock re-programs the Clock Wizard and blocks simulated time until
+// the MMCM re-locks. It returns the exact achieved frequency.
+func (p *Platform) SetOverclock(target sim.Hz) (sim.Hz, error) {
+	locked := false
+	actual, err := p.Wizard.SetRate(target, func(sim.Hz) { locked = true })
+	if err != nil {
+		return 0, err
+	}
+	for !locked {
+		if !p.Kernel.Step() {
+			return 0, fmt.Errorf("zynq: wizard never locked")
+		}
+	}
+	return actual, nil
+}
+
+// Classify returns the timing outcome at the current operating point.
+func (p *Platform) Classify() timing.Outcome {
+	return p.Timing.ClassifyNominal(p.OverclockDomain.Freq(), p.Die.TempC())
+}

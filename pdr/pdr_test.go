@@ -1,0 +1,184 @@
+package pdr_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/srampdr"
+	"repro/pdr"
+)
+
+func newSys(t *testing.T) *pdr.System {
+	t.Helper()
+	sys, err := pdr.NewSystem(pdr.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	sys := newSys(t)
+	if got, err := sys.SetFrequencyMHz(200); err != nil || math.Abs(got-200) > 1 {
+		t.Fatalf("SetFrequencyMHz: %v %v", got, err)
+	}
+	res, err := sys.LoadASP("RP1", "fir128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IRQReceived || !res.CRCValid {
+		t.Fatalf("load not clean: %+v", res)
+	}
+	if math.Abs(res.ThroughputMBs-781.84)/781.84 > 0.01 {
+		t.Errorf("throughput = %v, want ≈782", res.ThroughputMBs)
+	}
+}
+
+func TestLoadASPUnknownNames(t *testing.T) {
+	sys := newSys(t)
+	if _, err := sys.LoadASP("RP9", "fir128"); err == nil {
+		t.Error("unknown RP must fail")
+	}
+	if _, err := sys.LoadASP("RP1", "ghost"); err == nil {
+		t.Error("unknown ASP must fail")
+	}
+}
+
+func TestBitstreamCacheReuse(t *testing.T) {
+	sys := newSys(t)
+	a, err := sys.BuildBitstream("RP1", "sha3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.BuildBitstream("RP1", "sha3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("cache miss on identical request")
+	}
+}
+
+func TestSweepMatchesDirectLoad(t *testing.T) {
+	sys := newSys(t)
+	pts, err := sys.Sweep("RP1", "fir128", []float64{100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if math.Abs(pts[0].Result.ThroughputMBs-399)/399 > 0.01 {
+		t.Errorf("100 MHz point = %v", pts[0].Result.ThroughputMBs)
+	}
+}
+
+func TestRobustLoadAtHangFrequency(t *testing.T) {
+	sys := newSys(t)
+	if _, err := sys.SetFrequencyMHz(310); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := sys.RobustLoad("RP2", "aes-gcm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Recovered {
+		t.Error("robust load must recover")
+	}
+}
+
+func TestSensorsAndPower(t *testing.T) {
+	sys := newSys(t)
+	if temp := sys.DieTempC(); temp < 25 || temp > 60 {
+		t.Errorf("die temp = %v", temp)
+	}
+	if p := sys.BoardPowerW(); p < 2.2 || p > 5 {
+		t.Errorf("board power = %v", p)
+	}
+	if p := sys.PDRPowerW(); p < 0.8 || p > 2.5 {
+		t.Errorf("P_PDR = %v", p)
+	}
+}
+
+func TestHeatToAndOff(t *testing.T) {
+	sys := newSys(t)
+	if err := sys.HeatTo(80); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.DieTempC(); math.Abs(got-80) > 1 {
+		t.Errorf("die = %v, want ≈80", got)
+	}
+	sys.HeatOff()
+}
+
+func TestOptimizeEndToEnd(t *testing.T) {
+	sys := newSys(t)
+	rec, err := sys.Optimize("RP1", "fir128", []float64{100, 140, 180, 200, 240, 280}, 100, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.FreqMHz != 200 {
+		t.Errorf("recommendation = %v MHz, want 200", rec.FreqMHz)
+	}
+}
+
+func TestFrameworkAndTrace(t *testing.T) {
+	sys := newSys(t)
+	if _, err := sys.SetFrequencyMHz(200); err != nil {
+		t.Fatal(err)
+	}
+	fw := sys.Framework()
+	tr := sys.PoissonTrace(3, 10, 500, []string{"fir128", "sha3"})
+	stats, err := fw.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != 10 {
+		t.Errorf("requests = %d", stats.Requests)
+	}
+	if stats.Failures != 0 {
+		t.Errorf("failures = %d", stats.Failures)
+	}
+}
+
+func TestSRAMPipelineEndToEnd(t *testing.T) {
+	sys := newSys(t)
+	pipe, err := sys.SRAMPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := sys.BuildBitstream("RP3", "fft1k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Register(bs, true); err != nil {
+		t.Fatal(err)
+	}
+	loaded := false
+	if err := pipe.Preload("fft1k", func(srampdr.Preloaded) { loaded = true }); err != nil {
+		t.Fatal(err)
+	}
+	sys.RunFor(5 * sim.Millisecond)
+	if !loaded {
+		t.Fatal("preload incomplete")
+	}
+	var tput float64
+	if err := pipe.Reconfigure(func(r srampdr.ReconfigResult) { tput = r.ThroughputMBs }); err != nil {
+		t.Fatal(err)
+	}
+	sys.RunFor(5 * sim.Millisecond)
+	if tput < 1237 {
+		t.Errorf("Sec.-VI throughput = %v, want >1237 (compressed)", tput)
+	}
+}
+
+func TestRegionsExposed(t *testing.T) {
+	sys := newSys(t)
+	if len(sys.Regions()) != 4 {
+		t.Errorf("regions = %d", len(sys.Regions()))
+	}
+	if len(sys.ASPs()) < 5 {
+		t.Errorf("ASPs = %d", len(sys.ASPs()))
+	}
+}
