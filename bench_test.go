@@ -17,13 +17,18 @@ import (
 	"repro/pdr"
 )
 
-// benchEnv builds a fresh measurement environment, outside the timed loop.
+// benchEnv builds a fresh measurement environment, outside the timed loop:
+// callers invoke it from inside the b.N loop (each experiment needs a cold
+// platform), so it stops the benchmark clock around construction to keep
+// env setup out of the measurement.
 func benchEnv(b *testing.B) *experiments.Env {
 	b.Helper()
+	b.StopTimer()
 	env, err := experiments.NewEnv(42)
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.StartTimer()
 	return env
 }
 
@@ -237,6 +242,7 @@ func BenchmarkBitstreamBuild(b *testing.B) {
 	dev := fabric.Z7020()
 	rp := fabric.StandardRPs(dev)[0]
 	frames := benchFrames(dev.RegionFrames(rp))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := bitstream.Build(dev, rp, "bench", frames); err != nil {
@@ -250,6 +256,7 @@ func BenchmarkBitstreamBuild(b *testing.B) {
 // FDRI payload.
 func BenchmarkConfigCRC(b *testing.B) {
 	frames := benchFrames(1308)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var crc bitstream.ConfigCRC
@@ -273,6 +280,7 @@ func BenchmarkCompress(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := bitstream.Compress(bs.Raw); err != nil {
@@ -297,6 +305,7 @@ func BenchmarkDecompress(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := bitstream.Decompress(comp); err != nil {
@@ -317,6 +326,7 @@ func BenchmarkKernelEvents(b *testing.B) {
 		k.Schedule(10*sim.Nanosecond, tick)
 	}
 	k.Schedule(10*sim.Nanosecond, tick)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		k.Step()

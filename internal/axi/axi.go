@@ -65,7 +65,11 @@ type StreamFIFO struct {
 	reserved int // includes committed
 	occupied int
 
-	waiters []waiter
+	// waiters is a flat ring (slice plus head cursor) so the
+	// reserve-stall/release cycle of steady-state streaming reuses its
+	// backing array instead of reallocating per burst.
+	waiters    []waiter
+	waitersOff int
 }
 
 type waiter struct {
@@ -130,13 +134,18 @@ func (f *StreamFIFO) Release(bytes int) {
 	if f.occupied < 0 || f.reserved < 0 {
 		panic("axi: FIFO release underflow")
 	}
-	for len(f.waiters) > 0 {
-		w := f.waiters[0]
+	for f.waitersOff < len(f.waiters) {
+		w := f.waiters[f.waitersOff]
 		if f.capacity-f.reserved < w.bytes {
 			break
 		}
 		f.reserved += w.bytes
-		f.waiters = f.waiters[1:]
+		f.waiters[f.waitersOff] = waiter{}
+		f.waitersOff++
+		if f.waitersOff == len(f.waiters) {
+			f.waiters = f.waiters[:0]
+			f.waitersOff = 0
+		}
 		w.fn()
 	}
 }

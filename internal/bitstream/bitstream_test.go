@@ -260,7 +260,9 @@ func TestCompressRoundTripProperty(t *testing.T) {
 	prop := func(words []uint32, zeroEvery uint8) bool {
 		raw := make([]byte, len(words)*4)
 		for i, w := range words {
-			if zeroEvery > 0 && i%int(zeroEvery+1) == 0 {
+			// int-widen before the +1: zeroEvery==255 would wrap to a
+			// zero modulus in uint8.
+			if zeroEvery > 0 && i%(int(zeroEvery)+1) == 0 {
 				w = 0
 			}
 			raw[i*4] = byte(w >> 24)

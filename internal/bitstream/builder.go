@@ -45,20 +45,44 @@ type Bitstream struct {
 	Frames [][]uint32
 	// ConfigCRC is the expected running CRC at the CRC-register write.
 	ConfigCRC uint32
+
+	// words caches the decoded config-word payload: loaders stream the same
+	// ~132 K-word image thousands of times per experiment grid, and
+	// re-decoding it per load dominated the simulator's allocation profile.
+	words []uint32
+	// frameCRC lazily caches FrameCRC(Frames) for the read-back monitor.
+	frameCRC      uint32
+	frameCRCKnown bool
 }
 
 // Size returns the file image size in bytes.
 func (b *Bitstream) Size() int { return len(b.Raw) }
 
 // Words returns the config-word payload (after the file header) decoded
-// back to uint32s.
+// back to uint32s. The decode is cached on the Bitstream and the same slice
+// is returned on every call: treat it as read-only (loaders stream it
+// directly into the DMA model).
 func (b *Bitstream) Words() []uint32 {
-	body := b.Raw[HeaderBytes:]
-	out := make([]uint32, len(body)/4)
-	for i := range out {
-		out[i] = binary.BigEndian.Uint32(body[i*4:])
+	if b.words == nil {
+		body := b.Raw[HeaderBytes:]
+		out := make([]uint32, len(body)/4)
+		for i := range out {
+			out[i] = binary.BigEndian.Uint32(body[i*4:])
+		}
+		b.words = out
 	}
-	return out
+	return b.words
+}
+
+// FrameCRC returns the detached checksum of the frame payload (the golden
+// reference the CRC read-back monitor compares against), computed once and
+// cached.
+func (b *Bitstream) FrameCRC() uint32 {
+	if !b.frameCRCKnown {
+		b.frameCRC = FrameCRC(b.Frames)
+		b.frameCRCKnown = true
+	}
+	return b.frameCRC
 }
 
 // Build assembles a partial bitstream that configures region r of device dev
@@ -163,6 +187,9 @@ func Build(dev *fabric.Device, r fabric.Region, name string, frames [][]uint32) 
 		Start:     start,
 		Frames:    frames,
 		ConfigCRC: expectCRC,
+		// The assembled word image is exactly what Words() would decode
+		// back out of Raw; keep it so loaders never re-decode.
+		words: words,
 	}, nil
 }
 

@@ -6,13 +6,24 @@ import (
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// crcChunkWords is how many words the CRC helpers pack per crc32.Update
+// call: large enough to amortise the call overhead, small enough that the
+// scratch buffers stay modest.
+const crcChunkWords = 512
+
 // ConfigCRC is the running configuration CRC maintained by the device while
 // a bitstream loads. Every register write (including each FDRI data word)
 // folds the 5-bit register address and the 32-bit word into the checksum;
 // writing the CRC register compares the expected value and writing
 // CMD=RCRC resets it. The zero value is a reset CRC.
+//
+// The struct owns its packing buffer: crc32.Update is an indirect call, so a
+// per-call stack buffer would escape and allocate on every burst. Callers on
+// the hot path (the ICAP parser) hold one ConfigCRC for their whole life and
+// therefore fold words allocation-free.
 type ConfigCRC struct {
 	crc uint32
+	buf [5 * crcChunkWords]byte
 }
 
 // Reset clears the running value (CMD = RCRC).
@@ -20,34 +31,32 @@ func (c *ConfigCRC) Reset() { c.crc = 0 }
 
 // Update folds one register write into the checksum.
 func (c *ConfigCRC) Update(reg Reg, word uint32) {
-	var buf [5]byte
-	buf[0] = byte(reg) & 0x1F
-	buf[1] = byte(word >> 24)
-	buf[2] = byte(word >> 16)
-	buf[3] = byte(word >> 8)
-	buf[4] = byte(word)
-	c.crc = crc32.Update(c.crc, castagnoli, buf[:])
+	c.buf[0] = byte(reg) & 0x1F
+	c.buf[1] = byte(word >> 24)
+	c.buf[2] = byte(word >> 16)
+	c.buf[3] = byte(word >> 8)
+	c.buf[4] = byte(word)
+	c.crc = crc32.Update(c.crc, castagnoli, c.buf[:5])
 }
 
 // UpdateWords folds a run of writes to the same register (the FDRI case).
 func (c *ConfigCRC) UpdateWords(reg Reg, words []uint32) {
-	// Process in chunks to amortise the crc32.Update call overhead.
-	var buf [5 * 256]byte
+	regByte := byte(reg) & 0x1F
 	for len(words) > 0 {
 		n := len(words)
-		if n > 256 {
-			n = 256
+		if n > crcChunkWords {
+			n = crcChunkWords
 		}
-		for i := 0; i < n; i++ {
-			w := words[i]
-			off := i * 5
-			buf[off] = byte(reg) & 0x1F
-			buf[off+1] = byte(w >> 24)
-			buf[off+2] = byte(w >> 16)
-			buf[off+3] = byte(w >> 8)
-			buf[off+4] = byte(w)
+		off := 0
+		for _, w := range words[:n] {
+			c.buf[off] = regByte
+			c.buf[off+1] = byte(w >> 24)
+			c.buf[off+2] = byte(w >> 16)
+			c.buf[off+3] = byte(w >> 8)
+			c.buf[off+4] = byte(w)
+			off += 5
 		}
-		c.crc = crc32.Update(c.crc, castagnoli, buf[:n*5])
+		c.crc = crc32.Update(c.crc, castagnoli, c.buf[:off])
 		words = words[n:]
 	}
 }
@@ -55,32 +64,50 @@ func (c *ConfigCRC) UpdateWords(reg Reg, words []uint32) {
 // Value returns the current checksum.
 func (c *ConfigCRC) Value() uint32 { return c.crc }
 
+// FrameCRCHasher accumulates the detached frame checksum incrementally.
+// Like ConfigCRC it owns its packing buffer, so a long-lived hasher (the
+// CRC read-back monitor keeps one per scan stream) folds frames without
+// allocating. The zero value is ready to use.
+type FrameCRCHasher struct {
+	crc uint32
+	buf [4 * crcChunkWords]byte
+}
+
+// Reset clears the running checksum for a new stream.
+func (h *FrameCRCHasher) Reset() { h.crc = 0 }
+
+// Fold accumulates one run of frame words.
+func (h *FrameCRCHasher) Fold(words []uint32) {
+	for len(words) > 0 {
+		n := len(words)
+		if n > crcChunkWords {
+			n = crcChunkWords
+		}
+		off := 0
+		for _, w := range words[:n] {
+			h.buf[off] = byte(w >> 24)
+			h.buf[off+1] = byte(w >> 16)
+			h.buf[off+2] = byte(w >> 8)
+			h.buf[off+3] = byte(w)
+			off += 4
+		}
+		h.crc = crc32.Update(h.crc, castagnoli, h.buf[:off])
+		words = words[n:]
+	}
+}
+
+// Sum returns the accumulated checksum.
+func (h *FrameCRCHasher) Sum() uint32 { return h.crc }
+
 // FrameCRC computes a detached checksum over raw frame words, used by the
 // CRC read-back monitor to compare configuration memory against the golden
 // reference without replaying the packet stream.
 func FrameCRC(frames [][]uint32) uint32 {
-	crc := uint32(0)
-	var buf [4 * 256]byte
+	var h FrameCRCHasher
 	for _, f := range frames {
-		words := f
-		for len(words) > 0 {
-			n := len(words)
-			if n > 256 {
-				n = 256
-			}
-			for i := 0; i < n; i++ {
-				w := words[i]
-				off := i * 4
-				buf[off] = byte(w >> 24)
-				buf[off+1] = byte(w >> 16)
-				buf[off+2] = byte(w >> 8)
-				buf[off+3] = byte(w)
-			}
-			crc = crc32.Update(crc, castagnoli, buf[:n*4])
-			words = words[n:]
-		}
+		h.Fold(f)
 	}
-	return crc
+	return h.Sum()
 }
 
 // FileCRC is the whole-payload checksum stored in the BIT-style header to

@@ -8,7 +8,6 @@ package clock
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/sim"
 )
@@ -19,11 +18,16 @@ import (
 // Hardware models sample the frequency when they schedule work, so a
 // frequency change takes effect at the next scheduling point — matching real
 // hardware, where in-flight bursts complete on the old clock edge timing.
+//
+// Domain is not safe for concurrent use: like every model in this repository
+// it lives on the single-threaded simulation kernel, whose event ordering is
+// the synchronisation. Freq/Period/Cycles are plain field reads on the
+// datapath's hottest path (one per burst), so they must stay lock-free.
 type Domain struct {
 	name string
 
-	mu        sync.Mutex
 	freq      sim.Hz
+	period    sim.Duration
 	listeners []func(sim.Hz)
 }
 
@@ -32,45 +36,39 @@ func NewDomain(name string, freq sim.Hz) *Domain {
 	if freq <= 0 {
 		panic(fmt.Sprintf("clock: non-positive frequency for domain %q", name))
 	}
-	return &Domain{name: name, freq: freq}
+	return &Domain{name: name, freq: freq, period: freq.Period()}
 }
 
 // Name returns the domain name.
 func (d *Domain) Name() string { return d.name }
 
 // Freq returns the current frequency.
-func (d *Domain) Freq() sim.Hz {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.freq
-}
+func (d *Domain) Freq() sim.Hz { return d.freq }
 
-// Period returns the current clock period.
-func (d *Domain) Period() sim.Duration { return d.Freq().Period() }
+// Period returns the current clock period (cached at SetFreq time).
+func (d *Domain) Period() sim.Duration { return d.period }
 
 // Cycles returns the duration of n cycles at the current frequency.
-func (d *Domain) Cycles(n int64) sim.Duration { return sim.Cycles(n, d.Freq()) }
+func (d *Domain) Cycles(n int64) sim.Duration { return sim.Cycles(n, d.freq) }
 
 // SetFreq changes the domain frequency and notifies listeners.
 func (d *Domain) SetFreq(f sim.Hz) {
 	if f <= 0 {
 		panic(fmt.Sprintf("clock: non-positive frequency for domain %q", d.name))
 	}
-	d.mu.Lock()
 	d.freq = f
-	ls := make([]func(sim.Hz), len(d.listeners))
-	copy(ls, d.listeners)
-	d.mu.Unlock()
-	for _, fn := range ls {
+	d.period = f.Period()
+	// Ranging over the current slice header keeps notification stable even
+	// if a listener registers another listener mid-walk.
+	for _, fn := range d.listeners {
 		fn(f)
 	}
 }
 
 // OnChange registers a callback invoked (synchronously) after every
-// frequency change. Used by the power model to track dynamic power.
+// frequency change. Used by the power model to track dynamic power and by
+// the DMA/ICAP models to refresh their cached per-cycle timings.
 func (d *Domain) OnChange(fn func(sim.Hz)) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.listeners = append(d.listeners, fn)
 }
 

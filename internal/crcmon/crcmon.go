@@ -99,7 +99,13 @@ func New(cfg Config) *Monitor {
 // SetGolden installs the reference CRC for the region, computed from the
 // bitstream that was (supposed to be) loaded.
 func (m *Monitor) SetGolden(frames [][]uint32) {
-	m.golden = bitstream.FrameCRC(frames)
+	m.SetGoldenCRC(bitstream.FrameCRC(frames))
+}
+
+// SetGoldenCRC installs a precomputed reference CRC (bitstreams cache
+// theirs, so repeated loads of the same image skip the recompute).
+func (m *Monitor) SetGoldenCRC(crc uint32) {
+	m.golden = crc
 	m.hasGolden = true
 }
 
@@ -141,7 +147,9 @@ func (m *Monitor) Last() (Result, bool) { return m.last, m.hasLast }
 // ScansCompleted returns the number of full scans finished.
 func (m *Monitor) ScansCompleted() int { return m.scanNo }
 
-// scan performs one full pass over the region in chunks.
+// scan performs one full pass over the region in chunks, folding each
+// read-back frame into a running CRC as it streams out of the port — the
+// monitor never materialises the region image.
 func (m *Monitor) scan() {
 	if !m.running || m.suspended || !m.hasGolden {
 		return
@@ -150,28 +158,31 @@ func (m *Monitor) scan() {
 	gen := m.gen
 	dev := m.port.Memory().Device()
 	n := dev.RegionFrames(m.region)
-	collected := make([][]uint32, 0, n)
 	addr := m.region.RegionStart()
 
+	// The hasher is scan-local on purpose: an abandoned scan's in-flight
+	// read-back chunk still delivers its frames, and those must not fold
+	// into a successor scan's checksum.
+	var h bitstream.FrameCRCHasher
+	visit := func(frame []uint32) { h.Fold(frame) }
 	var step func(done int)
 	step = func(done int) {
 		if !m.running || m.suspended || m.gen != gen {
 			return // abandoned scan; Resume starts a fresh one
 		}
 		if done >= n {
-			m.finish(collected)
+			m.finish(h.Sum())
 			return
 		}
 		chunk := m.ChunkFrames
 		if chunk > n-done {
 			chunk = n - done
 		}
-		m.port.Readback(addr, chunk, func(frames [][]uint32, err error) {
+		m.port.ReadbackVisit(addr, chunk, visit, func(err error) {
 			if err != nil {
 				// Region geometry errors are programming bugs.
 				panic(err)
 			}
-			collected = append(collected, frames...)
 			// Advance addr past the chunk.
 			for i := 0; i < chunk && done+i+1 < n; i++ {
 				var nerr error
@@ -188,8 +199,7 @@ func (m *Monitor) scan() {
 
 // finish computes the verdict and delivers the interrupt if the control
 // path allows.
-func (m *Monitor) finish(frames [][]uint32) {
-	got := bitstream.FrameCRC(frames)
+func (m *Monitor) finish(got uint32) {
 	outcome := m.tmodel.Classify(m.port.Domain().Freq(), m.tempC(), m.vdd())
 	valid := got == m.golden && outcome != timing.Corrupt
 	m.scanNo++

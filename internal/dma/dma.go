@@ -74,6 +74,14 @@ type Config struct {
 }
 
 // Engine is one AXI DMA instance (MM2S channel).
+//
+// The per-burst machinery is a flat cursor-driven pump: exactly one burst is
+// in the issue pipeline (reserve FIFO space → memory grant → CDC handshake)
+// at a time, so its state lives in Engine fields and every pipeline stage
+// reuses a continuation bound once at construction. Only the drain side can
+// have several bursts outstanding (the FIFO holds up to four), and those need
+// nothing per-burst beyond a fixed-size Release. Steady-state streaming
+// therefore allocates nothing per burst.
 type Engine struct {
 	kernel *sim.Kernel
 	bus    *axi.LiteBus
@@ -94,6 +102,28 @@ type Engine struct {
 	sink   Sink
 	done   func(Result)
 	start  sim.Time
+
+	// cdcDelay is the CDC handshake cost at the stream domain's current
+	// frequency, refreshed via the domain's OnChange hook so each burst
+	// still observes frequency changes at its scheduling point without
+	// recomputing the delay per burst.
+	cdcDelay sim.Duration
+
+	// issue-stage state of the burst currently in the pipeline.
+	curBurst  []uint32
+	curBytes  int
+	curLast   bool
+	lastBytes int
+
+	// continuations bound once in New.
+	afterProgram    func()
+	afterDescriptor func()
+	onReserve       func()
+	onGrant         func()
+	onCDC           func()
+	drainFull       func()
+	drainLast       func()
+	finishFn        func()
 }
 
 // New creates an engine.
@@ -105,7 +135,7 @@ func New(cfg Config) *Engine {
 	if gate == nil {
 		gate = func() bool { return true }
 	}
-	return &Engine{
+	e := &Engine{
 		kernel: cfg.Kernel,
 		bus:    cfg.Bus,
 		mem:    cfg.DRAM,
@@ -114,6 +144,26 @@ func New(cfg Config) *Engine {
 		fifo:   axi.NewStreamFIFO(FIFOBytes),
 		master: cfg.DRAM.RegisterMaster(),
 	}
+	e.cdcDelay = axi.CDCDelay(e.domain.Freq())
+	e.domain.OnChange(func(f sim.Hz) { e.cdcDelay = axi.CDCDelay(f) })
+
+	// 2. The engine fetches its SG descriptor from DDR, then decodes it and
+	// issues the first burst.
+	issueFn := e.issue
+	e.afterDescriptor = func() { e.kernel.Schedule(descriptorDecode, issueFn) }
+	e.afterProgram = func() { e.mem.Request(e.master, descriptorBytes, e.afterDescriptor) }
+	// Burst pipeline: FIFO space reserved → memory burst granted → CDC
+	// handshake retired → data committed and fed to the sink.
+	e.onReserve = func() { e.mem.Request(e.master, e.curBytes, e.onGrant) }
+	e.onGrant = func() { e.kernel.Schedule(e.cdcDelay, e.onCDC) }
+	e.onCDC = e.commitBurst
+	e.drainFull = func() { e.fifo.Release(BurstBytes) }
+	e.drainLast = func() {
+		e.fifo.Release(e.lastBytes)
+		e.finish()
+	}
+	e.finishFn = e.retire
+	return e
 }
 
 // Busy reports whether a transfer is in flight.
@@ -147,17 +197,15 @@ func (e *Engine) Transfer(words []uint32, sink Sink, done func(Result)) error {
 	e.done = done
 	e.start = e.kernel.Now()
 
-	// 1. The PS programs the engine over AXI-Lite.
-	e.bus.WriteN(programWrites, func() {
-		// 2. The engine fetches its SG descriptor from DDR.
-		e.mem.Request(e.master, descriptorBytes, func() {
-			e.kernel.Schedule(descriptorDecode, e.issue)
-		})
-	})
+	// 1. The PS programs the engine over AXI-Lite; the pre-bound chain then
+	// fetches the SG descriptor and issues the first burst.
+	e.bus.WriteN(programWrites, e.afterProgram)
 	return nil
 }
 
 // issue launches the next memory burst; it self-paces on the CDC handshake.
+// Exactly one burst occupies the issue pipeline at a time, so its state
+// lives in Engine fields read by the pre-bound stage continuations.
 func (e *Engine) issue() {
 	if e.offset >= len(e.words) {
 		return
@@ -166,48 +214,48 @@ func (e *Engine) issue() {
 	if rem := len(e.words) - e.offset; n > rem {
 		n = rem
 	}
-	burst := e.words[e.offset : e.offset+n]
+	e.curBurst = e.words[e.offset : e.offset+n]
 	e.offset += n
 	e.bursts++
-	bytes := n * 4
-	isLast := e.offset >= len(e.words)
+	e.curBytes = n * 4
+	e.curLast = e.offset >= len(e.words)
+	e.fifo.WhenFree(e.curBytes, e.onReserve)
+}
 
-	e.fifo.WhenFree(bytes, func() {
-		e.mem.Request(e.master, bytes, func() {
-			// The burst crosses into the over-clocked domain.
-			e.kernel.Schedule(axi.CDCDelay(e.domain.Freq()), func() {
-				e.fifo.Commit(bytes)
-				e.sink.Feed(burst, func() {
-					e.fifo.Release(bytes)
-					if isLast {
-						e.finish()
-					}
-				})
-				// The next burst issues once this one's handshake retired.
-				if !isLast {
-					e.issue()
-				}
-			})
-		})
-	})
+// commitBurst runs when the burst's CDC handshake retires: the data becomes
+// visible in the stream FIFO and is handed to the sink. Every burst except
+// the final one is a full BurstBytes, so the drain continuations are fixed.
+func (e *Engine) commitBurst() {
+	e.fifo.Commit(e.curBytes)
+	if e.curLast {
+		e.lastBytes = e.curBytes
+		e.sink.Feed(e.curBurst, e.drainLast)
+		return
+	}
+	e.sink.Feed(e.curBurst, e.drainFull)
+	// The next burst issues once this one's handshake retired.
+	e.issue()
 }
 
 // finish retires the transfer and (gate permitting) delivers the IRQ.
 func (e *Engine) finish() {
-	e.kernel.Schedule(irqAssert, func() {
-		e.busy = false
-		e.completed = true
-		e.last = Result{
-			Bytes:  len(e.words) * 4,
-			Bursts: e.bursts,
-			Start:  e.start,
-			Done:   e.kernel.Now(),
-		}
-		e.words = nil
-		e.sink = nil
-		if e.gate() && e.done != nil {
-			e.done(e.last)
-		}
-		e.done = nil
-	})
+	e.kernel.Schedule(irqAssert, e.finishFn)
+}
+
+func (e *Engine) retire() {
+	e.busy = false
+	e.completed = true
+	e.last = Result{
+		Bytes:  len(e.words) * 4,
+		Bursts: e.bursts,
+		Start:  e.start,
+		Done:   e.kernel.Now(),
+	}
+	e.words = nil
+	e.curBurst = nil
+	e.sink = nil
+	if e.gate() && e.done != nil {
+		e.done(e.last)
+	}
+	e.done = nil
 }

@@ -41,18 +41,45 @@ type request struct {
 	fn    func()
 }
 
+// masterQueue is one master's pending bursts: a flat ring (slice plus head
+// cursor) that recycles its backing array, so steady-state streaming does
+// not reallocate per burst.
+type masterQueue struct {
+	q    []request
+	head int
+}
+
+func (m *masterQueue) push(r request) { m.q = append(m.q, r) }
+
+func (m *masterQueue) pop() request {
+	r := m.q[m.head]
+	m.q[m.head] = request{}
+	m.head++
+	if m.head == len(m.q) {
+		m.q = m.q[:0]
+		m.head = 0
+	}
+	return r
+}
+
+func (m *masterQueue) empty() bool { return m.head == len(m.q) }
+
 // Controller serves burst requests from multiple masters with round-robin
 // arbitration and refresh stalls.
 type Controller struct {
 	kernel *sim.Kernel
 	params Params
 
-	queues    map[int][]request
-	order     []int // master ids in registration order
+	queues    []masterQueue // indexed by master id
 	rrNext    int
 	busy      bool
 	nextFree  sim.Time
 	refreshAt sim.Time // next unaccounted refresh boundary
+
+	// curFn is the in-flight grant's completion callback; grantDone is the
+	// single completion continuation shared by every grant.
+	curFn     func()
+	grantDone func()
 
 	bytesServed uint64
 	refreshes   uint64
@@ -66,9 +93,16 @@ func NewController(k *sim.Kernel, p Params) *Controller {
 	if p.PortBytesPerSec <= 0 {
 		panic("dram: non-positive port rate")
 	}
-	c := &Controller{kernel: k, params: p, queues: make(map[int][]request)}
+	c := &Controller{kernel: k, params: p}
 	if p.RefreshInterval > 0 {
 		c.refreshAt = sim.Time(p.RefreshInterval)
+	}
+	c.grantDone = func() {
+		c.busy = false
+		fn := c.curFn
+		c.curFn = nil
+		fn()
+		c.pump()
 	}
 	return c
 }
@@ -78,9 +112,8 @@ func (c *Controller) Params() Params { return c.params }
 
 // RegisterMaster allocates a master id for arbitration.
 func (c *Controller) RegisterMaster() int {
-	id := len(c.order)
-	c.order = append(c.order, id)
-	c.queues[id] = nil
+	id := len(c.queues)
+	c.queues = append(c.queues, masterQueue{})
 	return id
 }
 
@@ -90,10 +123,10 @@ func (c *Controller) Request(master, bytes int, fn func()) {
 	if bytes <= 0 {
 		panic(fmt.Sprintf("dram: non-positive burst %d", bytes))
 	}
-	if _, ok := c.queues[master]; !ok {
+	if master < 0 || master >= len(c.queues) {
 		panic(fmt.Sprintf("dram: unknown master %d", master))
 	}
-	c.queues[master] = append(c.queues[master], request{bytes: bytes, fn: fn})
+	c.queues[master].push(request{bytes: bytes, fn: fn})
 	c.pump()
 }
 
@@ -132,23 +165,18 @@ func (c *Controller) pump() {
 	c.nextFree = end
 	c.bytesServed += uint64(req.bytes)
 	c.grants++
-	c.kernel.At(end, func() {
-		c.busy = false
-		req.fn()
-		c.pump()
-	})
+	c.curFn = req.fn
+	c.kernel.At(end, c.grantDone)
 }
 
 // nextRequest pops the next burst in round-robin master order.
 func (c *Controller) nextRequest() (request, bool) {
-	n := len(c.order)
+	n := len(c.queues)
 	for i := 0; i < n; i++ {
-		id := c.order[(c.rrNext+i)%n]
-		q := c.queues[id]
-		if len(q) > 0 {
-			c.queues[id] = q[1:]
-			c.rrNext = (c.rrNext + i + 1) % n
-			return q[0], true
+		id := (c.rrNext + i) % n
+		if !c.queues[id].empty() {
+			c.rrNext = (id + 1) % n
+			return c.queues[id].pop(), true
 		}
 	}
 	return request{}, false

@@ -74,6 +74,9 @@ type Device struct {
 	frameBase []int
 	// framesPerRow caches the row frame count.
 	framesPerRow int
+	// addrOf[linear] inverts Linear in O(1); the FAR auto-increment walks
+	// it once per frame written or read back.
+	addrOf []FrameAddr
 }
 
 // Z7020 returns the Zynq-7020-class device used by the paper's ZedBoard.
@@ -107,7 +110,7 @@ func Z7020() *Device {
 	return d
 }
 
-// index precomputes per-column frame offsets.
+// index precomputes per-column frame offsets and the linear→address table.
 func (d *Device) index() {
 	d.frameBase = make([]int, len(d.Columns)+1)
 	sum := 0
@@ -117,6 +120,17 @@ func (d *Device) index() {
 	}
 	d.frameBase[len(d.Columns)] = sum
 	d.framesPerRow = sum
+
+	d.addrOf = make([]FrameAddr, d.Rows*sum)
+	i := 0
+	for row := 0; row < d.Rows; row++ {
+		for c, k := range d.Columns {
+			for minor := 0; minor < k.Minors(); minor++ {
+				d.addrOf[i] = FrameAddr{Row: row, Column: c, Minor: minor}
+				i++
+			}
+		}
+	}
 }
 
 // FramesPerRow returns the number of frames configuring one row.
@@ -165,20 +179,12 @@ func (d *Device) Linear(a FrameAddr) (int, error) {
 	return a.Row*d.framesPerRow + d.frameBase[a.Column] + a.Minor, nil
 }
 
-// Addr inverts Linear.
+// Addr inverts Linear via the precomputed table.
 func (d *Device) Addr(linear int) (FrameAddr, error) {
-	if linear < 0 || linear >= d.TotalFrames() {
+	if linear < 0 || linear >= len(d.addrOf) {
 		return FrameAddr{}, fmt.Errorf("fabric: frame %d out of range [0,%d)", linear, d.TotalFrames())
 	}
-	row := linear / d.framesPerRow
-	rem := linear % d.framesPerRow
-	// Binary search would be fine; the column count is small enough to scan.
-	for c := 0; c < len(d.Columns); c++ {
-		if rem < d.frameBase[c+1] {
-			return FrameAddr{Row: row, Column: c, Minor: rem - d.frameBase[c]}, nil
-		}
-	}
-	panic("fabric: index tables corrupted")
+	return d.addrOf[linear], nil
 }
 
 // Next returns the address of the frame after a in configuration order

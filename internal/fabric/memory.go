@@ -58,6 +58,17 @@ func (m *Memory) ReadFrame(a FrameAddr) ([]uint32, error) {
 // the slice across writes.
 func (m *Memory) FrameSlice(linear int) []uint32 { return m.frames[linear] }
 
+// FrameView is ReadFrame without the copy: it returns the live backing slice
+// and counts as a read. Callers must not retain or mutate the slice.
+func (m *Memory) FrameView(a FrameAddr) ([]uint32, error) {
+	lin, err := m.dev.Linear(a)
+	if err != nil {
+		return nil, err
+	}
+	m.reads++
+	return m.frames[lin], nil
+}
+
 // Writes returns the number of frame writes performed.
 func (m *Memory) Writes() uint64 { return m.writes }
 

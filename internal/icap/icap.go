@@ -67,6 +67,30 @@ type Port struct {
 
 	busyUntil sim.Time
 
+	// freq/period cache the domain clock, refreshed through the domain's
+	// OnChange hook: each burst still samples the frequency in effect at its
+	// scheduling point, but the hot path pays a field read instead of a
+	// division per word-time computation.
+	freq   sim.Hz
+	period sim.Duration
+
+	// Corruption-rate memo keyed on the (freq, temp, vdd) operating point;
+	// the thermal model drifts slowly relative to the burst cadence, so in
+	// steady state this skips the derating math — and at zero rate the
+	// corruption-copy branch — for every burst of a streaming span.
+	rateFreq  sim.Hz
+	rateTemp  float64
+	rateVdd   float64
+	rateKnown bool
+	rate      float64
+
+	// Bursts queued for drain, in completion-time order. Reserve serialises
+	// the drain times, so a flat ring (slice + head cursor) replaces a
+	// per-burst closure; drainFn is bound once.
+	pending     []pendingBurst
+	pendingHead int
+	drainFn     func()
+
 	// Parser state.
 	state     parserState
 	curReg    bitstream.Reg
@@ -78,6 +102,12 @@ type Port struct {
 	frameBuf  []uint32
 	status    Status
 	wordsIn   uint64
+}
+
+// pendingBurst is one Feed awaiting its drain time.
+type pendingBurst struct {
+	words []uint32
+	done  func()
 }
 
 // Config bundles the Port dependencies.
@@ -108,7 +138,7 @@ func New(cfg Config) *Port {
 		nom := cfg.Timing.VNom
 		vdd = func() float64 { return nom }
 	}
-	return &Port{
+	p := &Port{
 		kernel:   cfg.Kernel,
 		domain:   cfg.Domain,
 		mem:      cfg.Memory,
@@ -118,6 +148,14 @@ func New(cfg Config) *Port {
 		rng:      sim.NewRNG(cfg.Seed ^ 0x1CAB),
 		frameBuf: make([]uint32, 0, fabric.FrameWords),
 	}
+	p.freq = cfg.Domain.Freq()
+	p.period = cfg.Domain.Period()
+	cfg.Domain.OnChange(func(f sim.Hz) {
+		p.freq = f
+		p.period = f.Period()
+	})
+	p.drainFn = p.drainNext
+	return p
 }
 
 // Domain returns the port's clock domain (the over-clocked one).
@@ -157,7 +195,7 @@ func (p *Port) Reserve(n int) sim.Time {
 	if p.busyUntil > start {
 		start = p.busyUntil
 	}
-	p.busyUntil = start.Add(sim.Cycles(int64(n), p.domain.Freq()))
+	p.busyUntil = start.Add(sim.Cycles(int64(n), p.freq))
 	return p.busyUntil
 }
 
@@ -175,7 +213,7 @@ func (p *Port) Feed(words []uint32, done func()) {
 	}
 	// Timing-violation corruption happens at the clock-domain boundary:
 	// words are damaged as they are latched.
-	rate := p.tmodel.CorruptionRate(p.domain.Freq(), p.tempC(), p.vdd())
+	rate := p.corruptionRate()
 	if rate > 0 {
 		corrupted := make([]uint32, len(words))
 		copy(corrupted, words)
@@ -187,12 +225,39 @@ func (p *Port) Feed(words []uint32, done func()) {
 		words = corrupted
 	}
 	end := p.Reserve(len(words))
-	p.kernel.At(end, func() {
-		p.consume(words)
-		if done != nil {
-			done()
-		}
-	})
+	// Reserve hands out monotonically non-decreasing drain times and the
+	// kernel fires equal-time events FIFO, so the ring pops in queue order.
+	p.pending = append(p.pending, pendingBurst{words: words, done: done})
+	p.kernel.At(end, p.drainFn)
+}
+
+// drainNext retires the oldest pending burst: parsing effects are applied
+// and the upstream FIFO slot frees.
+func (p *Port) drainNext() {
+	b := p.pending[p.pendingHead]
+	p.pending[p.pendingHead] = pendingBurst{}
+	p.pendingHead++
+	if p.pendingHead == len(p.pending) {
+		p.pending = p.pending[:0]
+		p.pendingHead = 0
+	}
+	p.consume(b.words)
+	if b.done != nil {
+		b.done()
+	}
+}
+
+// corruptionRate memoises timing.Model.CorruptionRate on the operating
+// point, which only changes when the clock is re-programmed or the die
+// temperature drifts.
+func (p *Port) corruptionRate() float64 {
+	f, t, v := p.freq, p.tempC(), p.vdd()
+	if !p.rateKnown || f != p.rateFreq || t != p.rateTemp || v != p.rateVdd {
+		p.rate = p.tmodel.CorruptionRate(f, t, v)
+		p.rateFreq, p.rateTemp, p.rateVdd = f, t, v
+		p.rateKnown = true
+	}
+	return p.rate
 }
 
 // consume runs the packet parser over a burst.
@@ -369,7 +434,7 @@ func (p *Port) command(c bitstream.Cmd) {
 // desync ends the transfer: latch Done and raise the completion interrupt
 // unless the control path is violating timing (the paper's hang mode).
 func (p *Port) desync() {
-	outcome := p.tmodel.Classify(p.domain.Freq(), p.tempC(), p.vdd())
+	outcome := p.tmodel.Classify(p.freq, p.tempC(), p.vdd())
 	if outcome == timing.Hang || outcome == timing.Freeze {
 		// Interrupt logic missed timing: no Done, no IRQ. Data (if the
 		// data path was fine) is already in configuration memory.
@@ -381,34 +446,58 @@ func (p *Port) desync() {
 		cb := p.OnDone
 		// Interrupt propagation is one cycle later; deliver via the kernel
 		// so callers never re-enter the parser.
-		p.kernel.Schedule(p.domain.Period(), func() { cb(st) })
+		p.kernel.Schedule(p.period, func() { cb(st) })
 	}
 }
 
-// Readback reads n frames starting at addr through the shared port,
-// invoking done with the frame contents when the words have been clocked
-// out. Reading occupies the port like writing does (1 word/cycle).
-func (p *Port) Readback(addr fabric.FrameAddr, n int, done func([][]uint32, error)) {
+// ReadbackVisit reads n frames starting at addr through the shared port,
+// invoking visit with each frame's live configuration-memory slice (no copy)
+// once the words have been clocked out, then done. Reading occupies the port
+// like writing does (1 word/cycle). Visitors must not retain or mutate the
+// slice — it is the fabric's backing store. Streaming consumers such as the
+// CRC read-back monitor use this to scan without per-frame allocation.
+func (p *Port) ReadbackVisit(addr fabric.FrameAddr, n int, visit func([]uint32), done func(error)) {
 	dev := p.mem.Device()
 	end := p.Reserve(n * fabric.FrameWords)
 	p.kernel.At(end, func() {
-		frames := make([][]uint32, 0, n)
 		a := addr
 		for i := 0; i < n; i++ {
-			f, err := p.mem.ReadFrame(a)
+			f, err := p.mem.FrameView(a)
 			if err != nil {
-				done(nil, fmt.Errorf("icap: readback: %w", err))
+				done(fmt.Errorf("icap: readback: %w", err))
 				return
 			}
-			frames = append(frames, f)
+			visit(f)
 			if i+1 < n {
 				a, err = dev.Next(a)
 				if err != nil {
-					done(nil, fmt.Errorf("icap: readback: %w", err))
+					done(fmt.Errorf("icap: readback: %w", err))
 					return
 				}
 			}
 		}
-		done(frames, nil)
+		done(nil)
 	})
+}
+
+// Readback reads n frames starting at addr through the shared port,
+// invoking done with copies of the frame contents when the words have been
+// clocked out. Reading occupies the port like writing does (1 word/cycle).
+// It is ReadbackVisit plus a per-frame copy, for consumers (the scrubber)
+// that repair frames rather than stream over them.
+func (p *Port) Readback(addr fabric.FrameAddr, n int, done func([][]uint32, error)) {
+	frames := make([][]uint32, 0, n)
+	p.ReadbackVisit(addr, n,
+		func(f []uint32) {
+			cp := make([]uint32, fabric.FrameWords)
+			copy(cp, f)
+			frames = append(frames, cp)
+		},
+		func(err error) {
+			if err != nil {
+				done(nil, err)
+				return
+			}
+			done(frames, nil)
+		})
 }

@@ -212,7 +212,8 @@ func TestCorruptionAt310MHzAnd100C(t *testing.T) {
 func TestWrongIDCODERejected(t *testing.T) {
 	r := newRig(t, 100*sim.MHz)
 	bs := buildFor(t, r, 0, 13)
-	words := bs.Words()
+	// Words() returns the bitstream's cached image; copy before patching.
+	words := append([]uint32(nil), bs.Words()...)
 	// Patch the IDCODE value (word after the IDCODE type-1 header).
 	patched := false
 	for i, w := range words {

@@ -1,71 +1,96 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
-// Event is a scheduled callback. Events at equal times fire in scheduling
-// order (FIFO), which keeps simulations deterministic.
+// Event is a handle to a scheduled callback. Events at equal times fire in
+// scheduling order (FIFO), which keeps simulations deterministic.
+//
+// Event is a small value type: the kernel recycles the underlying storage
+// through a free list once an event fires or a cancelled event is discarded,
+// and a generation counter keeps stale handles from touching the slot's next
+// occupant. The zero Event is inert (Cancel is a no-op, Cancelled reports
+// false).
 type Event struct {
+	k   *Kernel
+	idx int32
+	gen uint32
 	at  Time
-	seq uint64
-	fn  func()
-
-	cancelled bool
-	index     int // heap index, -1 when popped
 }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.cancelled = true
+func (e Event) Cancel() {
+	if e.k == nil {
+		return
+	}
+	s := &e.k.slots[e.idx]
+	if s.gen == e.gen {
+		s.cancelled = true
 	}
 }
 
 // Cancelled reports whether Cancel was called.
-func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
+//
+// Contract: the answer is exact while the event is pending and through its
+// retirement, until the event's recycled storage slot retires a *subsequent*
+// event. Past that point a cancelled event reports false (a normally-fired
+// one always correctly reports false). Pooled storage cannot keep
+// per-handle history forever; query in the same causal chain as the Cancel —
+// which every in-tree caller does — rather than holding handles across
+// unrelated kernel activity.
+func (e Event) Cancelled() bool {
+	if e.k == nil {
+		return false
+	}
+	s := &e.k.slots[e.idx]
+	if s.gen == e.gen {
+		return s.cancelled
+	}
+	return s.diedGen == e.gen && s.diedCancelled
+}
 
 // When returns the simulated time at which the event fires.
-func (e *Event) When() Time { return e.at }
+func (e Event) When() Time { return e.at }
 
-type eventHeap []*Event
+// slot is the pooled per-event storage. Slots are recycled through the
+// kernel's free list; gen increments at each retirement so stale Event
+// handles miss.
+type slot struct {
+	fn            func()
+	gen           uint32
+	cancelled     bool
+	diedGen       uint32
+	diedCancelled bool
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// entry is one heap element. The sort key (at, seq) is stored inline so the
+// sift loops never chase into the slot arena.
+type entry struct {
+	at  Time
+	seq uint64
+	idx int32
+}
+
+func entryLess(a, b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Kernel is a single-threaded discrete-event simulation engine. The zero
 // value is ready to use (time starts at 0 with an empty queue).
 //
 // Kernel is not safe for concurrent use; hardware models are single-threaded
-// by design so that event ordering is exact.
+// by design so that event ordering is exact. Schedule/Step run allocation-free
+// in steady state: event storage is pooled and the heap is a flat slice of
+// (time, seq, slot) entries.
 type Kernel struct {
-	queue   eventHeap
+	heap    []entry
+	slots   []slot
+	free    []int32
 	now     Time
 	seq     uint64
 	stopped bool
@@ -80,14 +105,14 @@ func (k *Kernel) Now() Time { return k.now }
 
 // Pending returns the number of events still queued (including cancelled
 // events that have not yet been discarded).
-func (k *Kernel) Pending() int { return len(k.queue) }
+func (k *Kernel) Pending() int { return len(k.heap) }
 
 // Fired returns the total number of events executed so far.
 func (k *Kernel) Fired() uint64 { return k.fired }
 
 // Schedule queues fn to run after delay d. Negative delays panic: a hardware
 // model asking for time travel is always a bug.
-func (k *Kernel) Schedule(d Duration, fn func()) *Event {
+func (k *Kernel) Schedule(d Duration, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
@@ -95,17 +120,80 @@ func (k *Kernel) Schedule(d Duration, fn func()) *Event {
 }
 
 // At queues fn to run at absolute time t, which must not be in the past.
-func (k *Kernel) At(t Time, fn func()) *Event {
+func (k *Kernel) At(t Time, fn func()) Event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, k.now))
 	}
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	e := &Event{at: t, seq: k.seq, fn: fn}
+	var idx int32
+	if n := len(k.free); n > 0 {
+		idx = k.free[n-1]
+		k.free = k.free[:n-1]
+	} else {
+		k.slots = append(k.slots, slot{})
+		idx = int32(len(k.slots) - 1)
+	}
+	s := &k.slots[idx]
+	s.fn = fn
+	s.cancelled = false
+	seq := k.seq
 	k.seq++
-	heap.Push(&k.queue, e)
-	return e
+	k.push(entry{at: t, seq: seq, idx: idx})
+	return Event{k: k, idx: idx, gen: s.gen, at: t}
+}
+
+// push appends e and restores the heap invariant (sift-up).
+func (k *Kernel) push(e entry) {
+	h := append(k.heap, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entryLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	k.heap = h
+}
+
+// popRoot removes the minimum entry and restores the invariant (sift-down).
+func (k *Kernel) popRoot() {
+	h := k.heap
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && entryLess(h[r], h[l]) {
+			m = r
+		}
+		if !entryLess(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	k.heap = h
+}
+
+// release retires a slot back to the free list, recording how the event died
+// so stale handles answer Cancelled correctly for one more generation.
+func (k *Kernel) release(idx int32, cancelled bool) {
+	s := &k.slots[idx]
+	s.diedGen = s.gen
+	s.diedCancelled = cancelled
+	s.gen++
+	s.fn = nil
+	s.cancelled = false
+	k.free = append(k.free, idx)
 }
 
 // Stop makes the currently running Run/RunUntil call return after the
@@ -115,9 +203,16 @@ func (k *Kernel) Stop() { k.stopped = true }
 // Step executes the single next event. It reports false when the queue is
 // empty.
 func (k *Kernel) Step() bool {
-	for len(k.queue) > 0 {
-		e := heap.Pop(&k.queue).(*Event)
-		if e.cancelled {
+	for len(k.heap) > 0 {
+		e := k.heap[0]
+		k.popRoot()
+		s := &k.slots[e.idx]
+		fn := s.fn
+		cancelled := s.cancelled
+		// Retire the slot before running fn so nested Schedule calls can
+		// reuse it — the steady-state allocation-free path.
+		k.release(e.idx, cancelled)
+		if cancelled {
 			continue
 		}
 		if e.at < k.now {
@@ -125,7 +220,7 @@ func (k *Kernel) Step() bool {
 		}
 		k.now = e.at
 		k.fired++
-		e.fn()
+		fn()
 		return true
 	}
 	return false
@@ -147,7 +242,7 @@ func (k *Kernel) RunUntil(t Time) {
 	k.stopped = false
 	for !k.stopped {
 		next, ok := k.peek()
-		if !ok || next.at > t {
+		if !ok || next > t {
 			break
 		}
 		k.Step()
@@ -161,22 +256,25 @@ func (k *Kernel) RunUntil(t Time) {
 // clock by exactly d (unless stopped early).
 func (k *Kernel) RunFor(d Duration) { k.RunUntil(k.now.Add(d)) }
 
-func (k *Kernel) peek() (*Event, bool) {
-	for len(k.queue) > 0 {
-		e := k.queue[0]
-		if !e.cancelled {
-			return e, true
+// peek returns the timestamp of the next live event, discarding cancelled
+// ones from the top of the heap.
+func (k *Kernel) peek() (Time, bool) {
+	for len(k.heap) > 0 {
+		e := k.heap[0]
+		if !k.slots[e.idx].cancelled {
+			return e.at, true
 		}
-		heap.Pop(&k.queue)
+		k.popRoot()
+		k.release(e.idx, true)
 	}
-	return nil, false
+	return 0, false
 }
 
 // NextEventTime returns the timestamp of the next pending event, or Never if
 // the queue is empty.
 func (k *Kernel) NextEventTime() Time {
-	if e, ok := k.peek(); ok {
-		return e.at
+	if t, ok := k.peek(); ok {
+		return t
 	}
 	return Never
 }
@@ -187,8 +285,9 @@ type Ticker struct {
 	kernel *Kernel
 	period Duration
 	fn     func()
-	ev     *Event
+	ev     Event
 	live   bool
+	armFn  func()
 }
 
 // NewTicker starts a ticker whose first tick fires one period from now.
@@ -197,12 +296,9 @@ func (k *Kernel) NewTicker(period Duration, fn func()) *Ticker {
 		panic(fmt.Sprintf("sim: non-positive ticker period %v", period))
 	}
 	t := &Ticker{kernel: k, period: period, fn: fn, live: true}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.ev = t.kernel.Schedule(t.period, func() {
+	// One tick closure for the ticker's whole life: re-arming reuses it, so
+	// a running ticker allocates nothing per tick.
+	t.armFn = func() {
 		if !t.live {
 			return
 		}
@@ -210,7 +306,13 @@ func (t *Ticker) arm() {
 		if t.live {
 			t.arm()
 		}
-	})
+	}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.kernel.Schedule(t.period, t.armFn)
 }
 
 // Stop cancels future ticks.
