@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"context"
 	"strconv"
 	"testing"
 
@@ -57,16 +58,28 @@ func BenchmarkTableI_FrequencySweep(b *testing.B) {
 	b.ReportMetric(mustCell(b, rep, 5, 2), "MB/s@280MHz")
 }
 
+// benchScenario runs a registered scenario through the canonical
+// sequential registry path — the same shards and merge the campaign,
+// pdrbench and EXPERIMENTS.md use, so all consumers report one number.
+func benchScenario(b *testing.B, id string) *experiments.Report {
+	b.Helper()
+	s, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("scenario %s not registered", id)
+	}
+	rep, err := experiments.RunSequential(context.Background(), s, experiments.Config{Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
+
 // BenchmarkFig5_Curve regenerates Fig. 5 (E2): the fine-grained
 // throughput-frequency curve with its 200 MHz knee.
 func BenchmarkFig5_Curve(b *testing.B) {
 	var rep *experiments.Report
 	for i := 0; i < b.N; i++ {
-		var err error
-		rep, err = experiments.Fig5(benchEnv(b))
-		if err != nil {
-			b.Fatal(err)
-		}
+		rep = benchScenario(b, "E2")
 	}
 	b.ReportMetric(float64(len(rep.Series[0].Points)), "points")
 }
@@ -76,11 +89,7 @@ func BenchmarkFig5_Curve(b *testing.B) {
 func BenchmarkTempStress_Matrix(b *testing.B) {
 	var rep *experiments.Report
 	for i := 0; i < b.N; i++ {
-		var err error
-		rep, err = experiments.TempStress(benchEnv(b))
-		if err != nil {
-			b.Fatal(err)
-		}
+		rep = benchScenario(b, "E3")
 	}
 	fails := 0.0
 	for _, row := range rep.Rows {
@@ -98,11 +107,7 @@ func BenchmarkTempStress_Matrix(b *testing.B) {
 func BenchmarkFig6_PowerGrid(b *testing.B) {
 	var rep *experiments.Report
 	for i := 0; i < b.N; i++ {
-		var err error
-		rep, err = experiments.Fig6(benchEnv(b))
-		if err != nil {
-			b.Fatal(err)
-		}
+		rep = benchScenario(b, "E4")
 	}
 	b.ReportMetric(mustCell(b, rep, 0, 1), "W@100MHz/40C")
 	b.ReportMetric(mustCell(b, rep, 5, 4), "W@280MHz/100C")
@@ -216,6 +221,31 @@ func BenchmarkSingleLoad(b *testing.B) {
 			}
 			b.ReportMetric(last.LatencyUS, "sim-us")
 			b.ReportMetric(last.ThroughputMBs, "sim-MB/s")
+		})
+	}
+}
+
+// BenchmarkCampaignSuite runs the full E1–A5 suite through the Campaign
+// API at several worker counts. Wall time per op is the headline: on a
+// multi-core host the sharded suite should approach (slowest shard +
+// scheduling) rather than the sequential sum. The recorded numbers extend
+// the perf trajectory in BENCH_campaign.json.
+func BenchmarkCampaignSuite(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run("parallel-"+strconv.Itoa(workers), func(b *testing.B) {
+			var res *pdr.CampaignResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = pdr.NewCampaign(
+					pdr.WithCampaignSeed(42),
+					pdr.WithWorkers(workers),
+				).Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Units), "shards")
+			b.ReportMetric(float64(len(res.Reports)), "scenarios")
 		})
 	}
 }

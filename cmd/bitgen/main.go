@@ -5,6 +5,8 @@
 //
 //	bitgen -asp fir128 -rp RP1 -out fir128.bit         # generate
 //	bitgen -asp fir128 -rp RP1 -out fir128.bitc -z     # generate compressed
+//	bitgen -all -dir images/                           # the whole library
+//	bitgen -list                                       # ASP library table
 //	bitgen -inspect fir128.bit                         # decode the header
 package main
 
@@ -12,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/bitstream"
 	"repro/internal/fabric"
@@ -24,20 +27,34 @@ func main() {
 	out := flag.String("out", "", "output file")
 	compress := flag.Bool("z", false, "store RLE-compressed")
 	inspect := flag.String("inspect", "", "file to decode instead of generating")
+	all := flag.Bool("all", false, "generate every library ASP (into -dir)")
+	dir := flag.String("dir", ".", "output directory for -all")
+	list := flag.Bool("list", false, "print the ASP library and exit")
 	flag.Parse()
 
-	if err := realMain(*asp, *rp, *out, *compress, *inspect); err != nil {
+	if err := realMain(*asp, *rp, *out, *compress, *inspect, *all, *dir, *list); err != nil {
 		fmt.Fprintln(os.Stderr, "bitgen:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(aspName, rpName, out string, compress bool, inspect string) error {
+func realMain(aspName, rpName, out string, compress bool, inspect string, all bool, dir string, list bool) error {
+	if list {
+		fmt.Printf("%-12s %-6s %-12s %-10s %s\n", "ASP", "fill", "compute", "clock", "mem MB/s")
+		for _, a := range workload.Library() {
+			fmt.Printf("%-12s %-6.2f %-12s %-10s %.0f\n",
+				a.Name, a.FillFraction, a.ComputeTime, fmt.Sprintf("%.0f MHz", a.ClockMHz), a.MemBandwidthMBs)
+		}
+		return nil
+	}
 	if inspect != "" {
 		return doInspect(inspect)
 	}
+	if all {
+		return doAll(rpName, dir, compress)
+	}
 	if aspName == "" || out == "" {
-		return fmt.Errorf("need -asp and -out (or -inspect); ASPs: %s", aspNames())
+		return fmt.Errorf("need -asp and -out (or -all/-list/-inspect); ASPs: %s", aspNames())
 	}
 	dev := fabric.Z7020()
 	var region *fabric.Region
@@ -72,6 +89,25 @@ func realMain(aspName, rpName, out string, compress bool, inspect string) error 
 	}
 	fmt.Printf("wrote %s: %s for %s, %d frames, %d bytes on disk\n",
 		out, aspName, rpName, bs.Header.Frames, len(data))
+	return nil
+}
+
+// doAll writes every library ASP's image for the RP into dir, so a whole
+// SD card's worth of bitstreams comes from one command.
+func doAll(rpName, dir string, compress bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, a := range workload.Library() {
+		ext := ".bit"
+		if compress {
+			ext = ".bitc"
+		}
+		out := filepath.Join(dir, a.Name+ext)
+		if err := realMain(a.Name, rpName, out, compress, "", false, "", false); err != nil {
+			return fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
 	return nil
 }
 

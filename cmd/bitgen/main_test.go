@@ -5,12 +5,18 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/workload"
 )
+
+func gen(aspName, rpName, out string, compress bool, inspect string) error {
+	return realMain(aspName, rpName, out, compress, inspect, false, "", false)
+}
 
 func TestGenerateAndInspect(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "fir.bit")
-	if err := realMain("fir128", "RP1", out, false, ""); err != nil {
+	if err := gen("fir128", "RP1", out, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	info, err := os.Stat(out)
@@ -20,7 +26,7 @@ func TestGenerateAndInspect(t *testing.T) {
 	if info.Size() != 528760 {
 		t.Errorf("file size = %d, want 528760", info.Size())
 	}
-	if err := realMain("", "", "", false, out); err != nil {
+	if err := gen("", "", "", false, out); err != nil {
 		t.Errorf("inspect: %v", err)
 	}
 }
@@ -28,7 +34,7 @@ func TestGenerateAndInspect(t *testing.T) {
 func TestGenerateCompressed(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "fir.bitc")
-	if err := realMain("fir128", "RP2", out, true, ""); err != nil {
+	if err := gen("fir128", "RP2", out, true, ""); err != nil {
 		t.Fatal(err)
 	}
 	info, err := os.Stat(out)
@@ -38,22 +44,40 @@ func TestGenerateCompressed(t *testing.T) {
 	if info.Size() >= 528760 {
 		t.Errorf("compressed size = %d, want < raw", info.Size())
 	}
-	if err := realMain("", "", "", false, out); err != nil {
+	if err := gen("", "", "", false, out); err != nil {
 		t.Errorf("inspect compressed: %v", err)
 	}
 }
 
+func TestGenerateAll(t *testing.T) {
+	dir := t.TempDir()
+	if err := realMain("", "RP1", "", false, "", true, dir, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range workload.Library() {
+		if _, err := os.Stat(filepath.Join(dir, a.Name+".bit")); err != nil {
+			t.Errorf("missing %s: %v", a.Name, err)
+		}
+	}
+}
+
+func TestListLibrary(t *testing.T) {
+	if err := realMain("", "", "", false, "", false, "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestErrors(t *testing.T) {
-	if err := realMain("", "RP1", "", false, ""); err == nil {
+	if err := gen("", "RP1", "", false, ""); err == nil {
 		t.Error("missing args accepted")
 	}
-	if err := realMain("ghost", "RP1", "x.bit", false, ""); err == nil {
+	if err := gen("ghost", "RP1", "x.bit", false, ""); err == nil {
 		t.Error("unknown ASP accepted")
 	}
-	if err := realMain("fir128", "RP9", "x.bit", false, ""); err == nil {
+	if err := gen("fir128", "RP9", "x.bit", false, ""); err == nil {
 		t.Error("unknown RP accepted")
 	}
-	if err := realMain("", "", "", false, "/nonexistent/file.bit"); err == nil {
+	if err := gen("", "", "", false, "/nonexistent/file.bit"); err == nil {
 		t.Error("missing inspect file accepted")
 	}
 }

@@ -1,99 +1,133 @@
-// Command pdrbench regenerates every table and figure of the paper's
-// evaluation from the simulation and prints them side by side with the
-// published numbers.
+// Command pdrbench regenerates the tables and figures of the paper's
+// evaluation from the simulation via the Campaign API. Scenarios come from
+// the experiment registry — adding a registered Scenario needs zero changes
+// here.
 //
 // Usage:
 //
-//	pdrbench                 # run everything
-//	pdrbench -run tableI     # one artefact: tableI fig5 stress fig6
-//	                         # tableII tableIII secVI claims crc knee guard
-//	pdrbench -csv out/       # also write figure series as CSV files
+//	pdrbench                      # run the full E1–A5 suite sequentially
+//	pdrbench -run E1,E3           # a subset, by ID or legacy alias
+//	pdrbench -parallel 4          # shard the suite over 4 workers
+//	                              # (output is byte-identical to -parallel 1)
+//	pdrbench -parallel 0          # one worker per CPU
+//	pdrbench -json                # machine-readable reports
+//	pdrbench -md > EXPERIMENTS.md # regenerate the committed artefact file
+//	pdrbench -csv out/            # also write figure series as CSV files
+//	pdrbench -list                # show the registered scenarios
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/pdr"
 )
 
-type runner struct {
-	name string
-	fn   func(*experiments.Env) (*experiments.Report, error)
-}
-
-var runners = []runner{
-	{"tableI", experiments.TableI},
-	{"fig5", experiments.Fig5},
-	{"stress", experiments.TempStress},
-	{"fig6", experiments.Fig6},
-	{"tableII", experiments.TableII},
-	{"tableIII", experiments.TableIII},
-	{"secVI", experiments.SecVI},
-	{"claims", experiments.LatencyClaims},
-	{"crc", experiments.AblationCRC},
-	{"knee", experiments.AblationKnee},
-	{"guard", experiments.AblationRobustGuard},
-	{"contention", experiments.AblationContention},
-	{"scrub", experiments.AblationScrub},
+type options struct {
+	run      string
+	parallel int
+	seed     uint64
+	jsonOut  bool
+	mdOut    bool
+	list     bool
+	csvDir   string
 }
 
 func main() {
-	run := flag.String("run", "all", "artefact to regenerate (all|"+names()+")")
-	csvDir := flag.String("csv", "", "directory to write figure CSV series into")
-	seed := flag.Uint64("seed", 42, "simulation seed")
+	var opts options
+	flag.StringVar(&opts.run, "run", "all", "comma-separated scenario IDs or aliases (see -list)")
+	flag.IntVar(&opts.parallel, "parallel", 1, "campaign workers (0 = one per CPU)")
+	flag.Uint64Var(&opts.seed, "seed", 42, "simulation seed")
+	flag.BoolVar(&opts.jsonOut, "json", false, "emit reports as JSON")
+	flag.BoolVar(&opts.mdOut, "md", false, "emit the EXPERIMENTS.md document")
+	flag.BoolVar(&opts.list, "list", false, "list registered scenarios and exit")
+	flag.StringVar(&opts.csvDir, "csv", "", "directory to write figure CSV series into")
 	flag.Parse()
 
-	if err := realMain(*run, *csvDir, *seed); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := realMain(ctx, os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "pdrbench:", err)
 		os.Exit(1)
 	}
 }
 
-func names() string {
-	out := make([]string, len(runners))
-	for i, r := range runners {
-		out[i] = r.name
+func realMain(ctx context.Context, w io.Writer, opts options) error {
+	if opts.list {
+		return listScenarios(w)
 	}
-	return strings.Join(out, "|")
-}
-
-func realMain(run, csvDir string, seed uint64) error {
-	matched := false
-	for _, r := range runners {
-		if run != "all" && run != r.name {
-			continue
+	copts := []pdr.CampaignOption{
+		pdr.WithCampaignSeed(opts.seed),
+		pdr.WithWorkers(opts.parallel),
+	}
+	if opts.run != "" && opts.run != "all" {
+		var ids []string
+		for _, id := range strings.Split(opts.run, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
 		}
-		matched = true
-		// A fresh environment per artefact keeps them independent, as each
-		// paper experiment started from a freshly booted board.
-		env, err := experiments.NewEnv(seed)
+		copts = append(copts, pdr.WithScenarios(ids...))
+	}
+	res, err := pdr.NewCampaign(copts...).Run(ctx)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case opts.mdOut:
+		if _, err := io.WriteString(w, res.Markdown()); err != nil {
+			return err
+		}
+	case opts.jsonOut:
+		out, err := res.JSON()
 		if err != nil {
 			return err
 		}
-		rep, err := r.fn(env)
-		if err != nil {
-			return fmt.Errorf("%s: %w", r.name, err)
+		if _, err := w.Write(out); err != nil {
+			return err
 		}
-		fmt.Println(rep.Render())
-		if csvDir != "" {
+	default:
+		if _, err := io.WriteString(w, res.Render()); err != nil {
+			return err
+		}
+	}
+
+	if opts.csvDir != "" {
+		if err := os.MkdirAll(opts.csvDir, 0o755); err != nil {
+			return err
+		}
+		for _, rep := range res.Reports {
 			for _, s := range rep.Series {
-				path := filepath.Join(csvDir, s.Name+".csv")
-				if err := os.MkdirAll(csvDir, 0o755); err != nil {
-					return err
-				}
+				path := filepath.Join(opts.csvDir, s.Name+".csv")
 				if err := os.WriteFile(path, []byte(s.CSV()), 0o644); err != nil {
 					return err
 				}
-				fmt.Printf("wrote %s\n", path)
+				// Notices go to stderr so -json/-md stdout stays parseable.
+				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 			}
 		}
 	}
-	if !matched {
-		return fmt.Errorf("unknown artefact %q (want all|%s)", run, names())
+	return nil
+}
+
+func listScenarios(w io.Writer) error {
+	fmt.Fprintf(w, "%-4s %-9s %-7s %s\n", "ID", "alias", "shards", "title")
+	for _, s := range pdr.Scenarios() {
+		alias := ""
+		if len(s.Aliases) > 0 {
+			alias = s.Aliases[0]
+		}
+		if _, err := fmt.Fprintf(w, "%-4s %-9s %-7d %s\n", s.ID, alias, s.Shards(experiments.Config{}), s.Title); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -3,9 +3,15 @@
 // the slide switches, push a button to load one of the two bitstreams, and
 // read the OLED.
 //
+// Each switch setting runs on its own freshly booted board (as the paper's
+// operators re-ran the flow per frequency), so settings are independent
+// work units: -parallel shards them across workers and the transcript is
+// merged by setting index, byte-identical to a sequential walk.
+//
 // Usage:
 //
 //	pdrsim                 # walk all switch settings (the paper's sweep)
+//	pdrsim -parallel 4     # same walk, sharded over 4 workers
 //	pdrsim -switches 3     # one setting (3 → 200 MHz per the switch table)
 //	pdrsim -heat 100       # heat-gun the die first (Sec. IV-A)
 package main
@@ -14,11 +20,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 
 	"repro/internal/board"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/workload"
+	"repro/internal/workpool"
 	"repro/internal/zynq"
 )
 
@@ -26,18 +35,47 @@ func main() {
 	switches := flag.Int("switches", -1, "slide-switch value (-1 = sweep all)")
 	heat := flag.Float64("heat", 0, "heat-gun die target in °C (0 = off)")
 	seed := flag.Uint64("seed", 7, "simulation seed")
+	parallel := flag.Int("parallel", 1, "workers for the switch sweep (0 = one per CPU)")
 	flag.Parse()
 
-	if err := realMain(*switches, *heat, *seed); err != nil {
+	if err := realMain(*switches, *heat, *seed, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "pdrsim:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(switches int, heat float64, seed uint64) error {
+func realMain(switches int, heat float64, seed uint64, parallel int) error {
+	settings := []int{switches}
+	if switches < 0 {
+		settings = settings[:0]
+		for i := range board.SwitchTable {
+			settings = append(settings, i)
+		}
+	}
+
+	transcripts := make([]string, len(settings))
+	errs := make([]error, len(settings))
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	workpool.Run(len(settings), parallel, func(i int) {
+		transcripts[i], errs[i] = runSetting(settings[i], heat, seed)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("switches=%d: %w", settings[i], err)
+		}
+		fmt.Print(transcripts[i])
+	}
+	return nil
+}
+
+// runSetting boots a fresh board, optionally heats it, selects the switch
+// setting and performs the button-driven load, returning the transcript.
+func runSetting(sw int, heat float64, seed uint64) (string, error) {
 	p, err := zynq.NewPlatform(zynq.Options{Seed: seed, FastThermal: true})
 	if err != nil {
-		return err
+		return "", err
 	}
 	b := board.New(p)
 
@@ -46,72 +84,64 @@ func realMain(switches int, heat float64, seed uint64) error {
 	b.SD.Store("boot.bin", []byte("pdr-app"))
 	aspA, err := workload.LibraryASP("fir128")
 	if err != nil {
-		return err
+		return "", err
 	}
 	aspB, err := workload.LibraryASP("sha3")
 	if err != nil {
-		return err
+		return "", err
 	}
 	bsA, err := aspA.Bitstream(p.Device, p.RPs[0])
 	if err != nil {
-		return err
+		return "", err
 	}
 	bsB, err := aspB.Bitstream(p.Device, p.RPs[0])
 	if err != nil {
-		return err
+		return "", err
 	}
 	b.SD.Store("partial_a.bit", bsA.Raw)
 	b.SD.Store("partial_b.bit", bsB.Raw)
 
 	if err := b.Boot(); err != nil {
-		return err
+		return "", err
 	}
-	fmt.Printf("booted; SD card: %v\n", b.SD.Files())
+	var out strings.Builder
+	fmt.Fprintf(&out, "booted; SD card: %v\n", b.SD.Files())
 	ctrl := core.New(p)
 
 	if heat > 0 {
-		fmt.Printf("heat gun on, target %.0f °C…\n", heat)
+		fmt.Fprintf(&out, "heat gun on, target %.0f °C…\n", heat)
 		if _, ok := p.Gun.StabilizeAt(heat, 0.5, 10*sim.Minute); !ok {
-			return fmt.Errorf("die never reached %.0f °C", heat)
+			return "", fmt.Errorf("die never reached %.0f °C", heat)
 		}
-		fmt.Printf("die at %.1f °C\n", p.Die.Sensor())
+		fmt.Fprintf(&out, "die at %.1f °C\n", p.Die.Sensor())
 	}
 
-	settings := []int{switches}
-	if switches < 0 {
-		settings = settings[:0]
-		for i := range board.SwitchTable {
-			settings = append(settings, i)
-		}
+	b.SetSwitches(uint8(sw))
+	freq, err := b.SelectedFrequencyMHz()
+	if err != nil {
+		return "", err
 	}
-	for _, sw := range settings {
-		b.SetSwitches(uint8(sw))
-		freq, err := b.SelectedFrequencyMHz()
-		if err != nil {
-			return err
-		}
-		if _, err := ctrl.SetFrequencyMHz(freq); err != nil {
-			return err
-		}
-		// Push-button A starts the ICAP operation on bitstream A.
-		var res core.Result
-		var loadErr error
-		b.OnButton(board.BtnLoadA, func() {
-			res, loadErr = ctrl.Load("RP1", bsA)
-		})
-		b.Press(board.BtnLoadA)
-		p.Kernel.RunFor(2 * sim.Millisecond)
-		if loadErr != nil {
-			return loadErr
-		}
-		lat := 0.0
-		if res.IRQReceived {
-			lat = res.LatencyUS
-		}
-		b.ShowStatus(freq, res.CRCValid, lat)
-		fmt.Printf("switches=%d → %3.0f MHz\n%s\n\n", sw, freq, indent(b.OLED.String()))
+	if _, err := ctrl.SetFrequencyMHz(freq); err != nil {
+		return "", err
 	}
-	return nil
+	// Push-button A starts the ICAP operation on bitstream A.
+	var res core.Result
+	var loadErr error
+	b.OnButton(board.BtnLoadA, func() {
+		res, loadErr = ctrl.Load("RP1", bsA)
+	})
+	b.Press(board.BtnLoadA)
+	p.Kernel.RunFor(2 * sim.Millisecond)
+	if loadErr != nil {
+		return "", loadErr
+	}
+	lat := 0.0
+	if res.IRQReceived {
+		lat = res.LatencyUS
+	}
+	b.ShowStatus(freq, res.CRCValid, lat)
+	fmt.Fprintf(&out, "switches=%d → %3.0f MHz\n%s\n\n", sw, freq, indent(b.OLED.String()))
+	return out.String(), nil
 }
 
 func indent(s string) string {

@@ -6,20 +6,46 @@ import (
 )
 
 func TestSingleSwitchSetting(t *testing.T) {
-	if err := realMain(3, 0, 7); err != nil { // 3 → 200 MHz
+	if err := realMain(3, 0, 7, 1); err != nil { // 3 → 200 MHz
 		t.Fatal(err)
 	}
 }
 
 func TestHangSetting(t *testing.T) {
-	if err := realMain(6, 0, 7); err != nil { // 6 → 310 MHz: no interrupt
+	if err := realMain(6, 0, 7, 1); err != nil { // 6 → 310 MHz: no interrupt
 		t.Fatal(err)
 	}
 }
 
 func TestWithHeatGun(t *testing.T) {
-	if err := realMain(0, 80, 7); err != nil {
+	if err := realMain(0, 80, 7, 1); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestParallelSweep(t *testing.T) {
+	if err := realMain(-1, 0, 7, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSettingDeterministic pins the per-setting transcript: a setting runs
+// on its own freshly booted board, so repeated runs (and therefore any
+// parallel schedule of the sweep) produce identical text.
+func TestSettingDeterministic(t *testing.T) {
+	a, err := runSetting(3, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runSetting(3, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("transcripts differ:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, "200 MHz") {
+		t.Errorf("transcript missing frequency:\n%s", a)
 	}
 }
 

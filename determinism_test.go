@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -60,6 +61,46 @@ func TestDeterministicReports(t *testing.T) {
 		if got := rep1.Rows[g.row][g.col]; got != g.want {
 			t.Errorf("Table I cell (%d,%d) = %q, want %q", g.row, g.col, got, g.want)
 		}
+	}
+}
+
+// TestCampaignSuiteParallelDeterminism is the campaign-level contract from
+// the Campaign API redesign: the FULL E1–A5 suite run through pdr.Campaign
+// on 4 workers must produce byte-identical reports — rendered text, JSON
+// and the generated EXPERIMENTS.md document — to a sequential run. Every
+// shard owns a fresh kernel and merges by index, so any divergence here
+// means a shard leaked state across workers or the merge order raced.
+func TestCampaignSuiteParallelDeterminism(t *testing.T) {
+	run := func(workers int) *pdr.CampaignResult {
+		res, err := pdr.NewCampaign(
+			pdr.WithCampaignSeed(42),
+			pdr.WithWorkers(workers),
+		).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, par := run(1), run(4)
+	if seq.Units != par.Units {
+		t.Errorf("shard plans differ: %d vs %d units (the plan must not depend on workers)", seq.Units, par.Units)
+	}
+	if a, b := seq.Render(), par.Render(); a != b {
+		t.Errorf("parallel suite render differs from sequential:\n--- seq ---\n%s\n--- par ---\n%s", a, b)
+	}
+	a, err := seq.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("parallel suite JSON differs from sequential")
+	}
+	if seq.Markdown() != par.Markdown() {
+		t.Error("parallel EXPERIMENTS.md differs from sequential")
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitstream"
@@ -28,12 +29,21 @@ type Calibrator struct {
 // Sweep measures every requested frequency in order at the current die
 // temperature.
 func (cal *Calibrator) Sweep(freqsMHz []float64) ([]SweepPoint, error) {
+	return cal.SweepContext(context.Background(), freqsMHz)
+}
+
+// SweepContext is Sweep with cancellation between points: a campaign worker
+// can abandon a sweep mid-grid without waiting for the remaining loads.
+func (cal *Calibrator) SweepContext(ctx context.Context, freqsMHz []float64) ([]SweepPoint, error) {
 	rp := cal.RP
 	if rp == "" {
 		rp = "RP1"
 	}
 	out := make([]SweepPoint, 0, len(freqsMHz))
 	for _, f := range freqsMHz {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if _, err := cal.C.SetFrequencyMHz(f); err != nil {
 			return nil, fmt.Errorf("core: sweep at %v MHz: %w", f, err)
 		}
@@ -61,16 +71,27 @@ type StressCell struct {
 // heat-gun experiment: the gun servos the die to each target before the
 // transfers run.
 func (cal *Calibrator) StressMatrix(freqsMHz, tempsC []float64) ([]StressCell, error) {
+	return cal.StressMatrixContext(context.Background(), freqsMHz, tempsC)
+}
+
+// StressMatrixContext is StressMatrix with cancellation between cells.
+func (cal *Calibrator) StressMatrixContext(ctx context.Context, freqsMHz, tempsC []float64) ([]StressCell, error) {
 	rp := cal.RP
 	if rp == "" {
 		rp = "RP1"
 	}
 	var out []StressCell
 	for _, temp := range tempsC {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if _, ok := cal.C.p.Gun.StabilizeAt(temp, 0.5, 10*sim.Minute); !ok {
 			return nil, fmt.Errorf("core: heat gun failed to reach %v°C", temp)
 		}
 		for _, f := range freqsMHz {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if _, err := cal.C.SetFrequencyMHz(f); err != nil {
 				return nil, fmt.Errorf("core: stress at %v MHz: %w", f, err)
 			}
@@ -111,29 +132,40 @@ type PowerProfiler struct {
 
 // Grid measures P_PDR over the frequency × temperature grid.
 func (pp *PowerProfiler) Grid(freqsMHz, tempsC []float64) ([]PowerPoint, error) {
-	return pp.grid(freqsMHz, tempsC, true)
+	return pp.grid(context.Background(), freqsMHz, tempsC, true)
+}
+
+// GridContext is Grid with cancellation between cells.
+func (pp *PowerProfiler) GridContext(ctx context.Context, freqsMHz, tempsC []float64) ([]PowerPoint, error) {
+	return pp.grid(ctx, freqsMHz, tempsC, true)
 }
 
 // GridAtCurrent measures the frequencies at whatever temperature the die is
 // naturally running at (no heat gun) — what the optimizer's field
 // calibration does.
 func (pp *PowerProfiler) GridAtCurrent(freqsMHz []float64) ([]PowerPoint, error) {
-	return pp.grid(freqsMHz, []float64{pp.C.p.Die.TempC()}, false)
+	return pp.grid(context.Background(), freqsMHz, []float64{pp.C.p.Die.TempC()}, false)
 }
 
-func (pp *PowerProfiler) grid(freqsMHz, tempsC []float64, useGun bool) ([]PowerPoint, error) {
+func (pp *PowerProfiler) grid(ctx context.Context, freqsMHz, tempsC []float64, useGun bool) ([]PowerPoint, error) {
 	rp := pp.RP
 	if rp == "" {
 		rp = "RP1"
 	}
 	var out []PowerPoint
 	for _, temp := range tempsC {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if useGun {
 			if _, ok := pp.C.p.Gun.StabilizeAt(temp, 0.5, 10*sim.Minute); !ok {
 				return nil, fmt.Errorf("core: heat gun failed to reach %v°C", temp)
 			}
 		}
 		for _, f := range freqsMHz {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if _, err := pp.C.SetFrequencyMHz(f); err != nil {
 				return nil, fmt.Errorf("core: power grid at %v MHz: %w", f, err)
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strconv"
 	"strings"
@@ -16,6 +17,21 @@ func newEnv(t *testing.T) *Env {
 		t.Fatal(err)
 	}
 	return env
+}
+
+// runScenario executes a registered scenario through the canonical
+// sequential registry path at the reference seed.
+func runScenario(t *testing.T, id string) *Report {
+	t.Helper()
+	s, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("scenario %s not registered", id)
+	}
+	rep, err := RunSequential(context.Background(), s, Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
 }
 
 func cell(t *testing.T, rep *Report, row, col int) string {
@@ -70,10 +86,7 @@ func TestTableIAgainstPaper(t *testing.T) {
 }
 
 func TestFig5ShapeAndSeries(t *testing.T) {
-	rep, err := Fig5(newEnv(t))
-	if err != nil {
-		t.Fatal(err)
-	}
+	rep := runScenario(t, "E2")
 	if len(rep.Series) != 1 {
 		t.Fatalf("series = %d", len(rep.Series))
 	}
@@ -108,10 +121,7 @@ func TestFig5ShapeAndSeries(t *testing.T) {
 }
 
 func TestTempStressSingleFailure(t *testing.T) {
-	rep, err := TempStress(newEnv(t))
-	if err != nil {
-		t.Fatal(err)
-	}
+	rep := runScenario(t, "E3")
 	fails := 0
 	var failRow, failCol int
 	for r, row := range rep.Rows {
@@ -134,10 +144,7 @@ func TestTempStressSingleFailure(t *testing.T) {
 }
 
 func TestFig6FamilyAgainstPaperShape(t *testing.T) {
-	rep, err := Fig6(newEnv(t))
-	if err != nil {
-		t.Fatal(err)
-	}
+	rep := runScenario(t, "E4")
 	if len(rep.Series) != 4 {
 		t.Fatalf("series = %d, want 4 temperatures", len(rep.Series))
 	}

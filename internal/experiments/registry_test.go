@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "A1", "A2", "A3", "A4", "A5"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d scenarios, want %d: %v", len(got), len(want), got)
+	}
+	for i, id := range want {
+		if got[i] != id {
+			t.Errorf("registry[%d] = %s, want %s (suite order)", i, got[i], id)
+		}
+	}
+}
+
+func TestLookupByIDAndAlias(t *testing.T) {
+	byID, ok := Lookup("E1")
+	if !ok || byID.ID != "E1" {
+		t.Fatalf("Lookup(E1) = %+v, %v", byID, ok)
+	}
+	byAlias, ok := Lookup("tableI")
+	if !ok || byAlias.ID != "E1" {
+		t.Fatalf("Lookup(tableI) = %+v, %v", byAlias, ok)
+	}
+	if _, ok := Lookup("E42"); ok {
+		t.Error("Lookup(E42) succeeded")
+	}
+}
+
+func TestShardPlanFixed(t *testing.T) {
+	cfg := Config{Seed: 42}
+	plans := map[string]int{"E1": 1, "E2": 3, "E3": 7, "E4": 4, "E9": 4, "A5": 1}
+	for id, want := range plans {
+		s, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		if got := s.Shards(cfg); got != want {
+			t.Errorf("%s shard plan = %d, want %d", id, got, want)
+		}
+	}
+}
+
+func TestSegBounds(t *testing.T) {
+	// Segments must partition [0,n) contiguously with sizes differing by
+	// at most one, for any (n, k).
+	for _, tc := range []struct{ n, k int }{{21, 3}, {7, 7}, {96, 4}, {5, 3}, {3, 3}} {
+		prev := 0
+		minSz, maxSz := tc.n, 0
+		for i := 0; i < tc.k; i++ {
+			lo, hi := segBounds(tc.n, tc.k, i)
+			if lo != prev {
+				t.Errorf("segBounds(%d,%d,%d) lo = %d, want %d", tc.n, tc.k, i, lo, prev)
+			}
+			sz := hi - lo
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+			prev = hi
+		}
+		if prev != tc.n {
+			t.Errorf("segBounds(%d,%d) covers [0,%d), want [0,%d)", tc.n, tc.k, prev, tc.n)
+		}
+		if maxSz-minSz > 1 {
+			t.Errorf("segBounds(%d,%d) sizes range %d–%d", tc.n, tc.k, minSz, maxSz)
+		}
+	}
+}
+
+// TestRenderRaggedRows: rows wider than the header must widen the table
+// (with empty header cells) and rows narrower must pad — no misalignment,
+// no panic.
+func TestRenderRaggedRows(t *testing.T) {
+	rep := &Report{
+		ID:     "T1",
+		Title:  "ragged",
+		Header: []string{"a", "b"},
+		Rows: [][]string{
+			{"1", "2", "extra-wide-cell"},
+			{"only"},
+			{"x", "y"},
+		},
+	}
+	out := rep.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 3 rows.
+	if len(lines) != 6 {
+		t.Fatalf("rendered %d lines, want 6:\n%s", len(lines), out)
+	}
+	width := len(lines[2]) // separator spans every column
+	for i, line := range lines[1:] {
+		if len(strings.TrimRight(line, " ")) > width {
+			t.Errorf("line %d wider than separator (%d > %d): %q", i+1, len(line), width, line)
+		}
+	}
+	if !strings.Contains(lines[3], "extra-wide-cell") {
+		t.Errorf("wide cell missing: %q", lines[3])
+	}
+	// The third column exists even though the header has two.
+	if got := len(strings.Fields(lines[2])); got != 3 {
+		t.Errorf("separator has %d column dashes, want 3:\n%s", got, out)
+	}
+}
+
+func TestRenderStableAcrossCalls(t *testing.T) {
+	rep := &Report{ID: "T2", Title: "t", Header: []string{"h"}, Rows: [][]string{{"v"}}}
+	if rep.Render() != rep.Render() {
+		t.Error("Render not deterministic")
+	}
+}
+
+func TestReportJSONStable(t *testing.T) {
+	rep := &Report{
+		ID: "T3", Title: "json", Header: []string{"h"},
+		Rows:   [][]string{{"v"}},
+		Series: []sim.Series{{Name: "s", XLabel: "x", YLabel: "y", Points: []sim.Point{{X: 1, Y: 2}}}},
+		Notes:  []string{"n"},
+	}
+	a, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("JSON not byte-stable")
+	}
+	var round Report
+	if err := json.Unmarshal(a, &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.ID != "T3" || round.Series[0].Points[0].Y != 2 {
+		t.Errorf("round trip = %+v", round)
+	}
+}
+
+func TestMarkdownEscapesPipes(t *testing.T) {
+	rep := &Report{ID: "T4", Title: "a|b", Header: []string{"h|1"}, Rows: [][]string{{"v|2"}}}
+	md := rep.Markdown()
+	for _, want := range []string{`a\|b`, `h\|1`, `v\|2`} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing escaped %q:\n%s", want, md)
+		}
+	}
+}
+
+// TestScenarioCancellation: a sharded scenario must stop between
+// measurement points when its context dies.
+func TestScenarioCancellation(t *testing.T) {
+	env, err := NewEnv(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s, _ := Lookup("E3")
+	if _, err := s.Run(ctx, env, 0); err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestShardDeterminism: re-running the same shard on a fresh Env must give
+// identical partial output — the property the campaign merge relies on.
+func TestShardDeterminism(t *testing.T) {
+	s, _ := Lookup("E4")
+	runShard := func() string {
+		env, err := NewEnv(42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Run(context.Background(), env, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out)
+	}
+	if a, b := runShard(), runShard(); a != b {
+		t.Errorf("shard output differs:\n%s\nvs\n%s", a, b)
+	}
+}

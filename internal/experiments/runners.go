@@ -48,120 +48,11 @@ func TableI(env *Env) (*Report, error) {
 	return rep, nil
 }
 
-// Fig5 (E2): the throughput-frequency curve on a fine grid.
-func Fig5(env *Env) (*Report, error) {
-	cal := &core.Calibrator{C: env.Controller, Bitstream: env.Bitstream}
-	var freqs []float64
-	for f := 100.0; f <= 300; f += 10 {
-		freqs = append(freqs, f)
-	}
-	points, err := cal.Sweep(freqs)
-	if err != nil {
-		return nil, err
-	}
-	series := sim.Series{Name: "fig5", XLabel: "frequency_mhz", YLabel: "throughput_mbs"}
-	rep := &Report{
-		ID:     "E2",
-		Title:  "Fig. 5 — throughput vs. frequency",
-		Header: []string{"freq [MHz]", "throughput [MB/s]"},
-	}
-	knee := 0.0
-	for _, pt := range points {
-		if !pt.Result.IRQReceived {
-			continue
-		}
-		series.Append(pt.RequestedMHz, pt.Result.ThroughputMBs)
-		rep.Rows = append(rep.Rows, []string{mhz(pt.RequestedMHz), f2(pt.Result.ThroughputMBs)})
-		// Knee detection: first point achieving <98% of the 4f line.
-		if knee == 0 && pt.Result.ThroughputMBs < 4*pt.RequestedMHz*0.98 {
-			knee = pt.RequestedMHz
-		}
-	}
-	rep.Series = append(rep.Series, series)
-	rep.Notes = append(rep.Notes,
-		fmt.Sprintf("curve linear until ≈%.0f MHz, then flattens (paper: ≈200 MHz)", knee))
-	return rep, nil
-}
-
-// TempStress (E3): the Sec. IV-A heat-gun matrix.
-func TempStress(env *Env) (*Report, error) {
-	cal := &core.Calibrator{C: env.Controller, Bitstream: env.Bitstream}
-	freqs := []float64{100, 140, 180, 200, 240, 280, 310}
-	temps := []float64{40, 50, 60, 70, 80, 90, 100}
-	cells, err := cal.StressMatrix(freqs, temps)
-	if err != nil {
-		return nil, err
-	}
-	rep := &Report{
-		ID:    "E3",
-		Title: "Sec. IV-A — temperature stress (pass = CRC valid)",
-		Header: append([]string{"freq\\temp"}, func() []string {
-			out := make([]string, len(temps))
-			for i, t := range temps {
-				out[i] = fmt.Sprintf("%.0fC", t)
-			}
-			return out
-		}()...),
-	}
-	byFreq := map[float64][]string{}
-	fails := 0
-	for _, cell := range cells {
-		mark := "pass"
-		if !cell.Passed {
-			mark = "FAIL"
-			fails++
-		}
-		byFreq[cell.FreqMHz] = append(byFreq[cell.FreqMHz], mark)
-	}
-	for _, f := range freqs {
-		rep.Rows = append(rep.Rows, append([]string{mhz(f) + " MHz"}, byFreq[f]...))
-	}
-	rep.Notes = append(rep.Notes,
-		fmt.Sprintf("%d failing cell(s); paper reports exactly one: 310 MHz @ 100 °C", fails))
-	return rep, nil
-}
-
-// Fig6 (E4): P_PDR vs frequency at four temperatures.
-func Fig6(env *Env) (*Report, error) {
-	meter := power.NewMeter(env.Platform.Kernel, env.Platform.Power, 100*sim.Microsecond)
-	pp := &core.PowerProfiler{C: env.Controller, Meter: meter, Bitstream: env.Bitstream}
-	freqs := []float64{100, 140, 180, 200, 240, 280}
-	temps := []float64{40, 60, 80, 100}
-	points, err := pp.Grid(freqs, temps)
-	if err != nil {
-		return nil, err
-	}
-	rep := &Report{
-		ID:     "E4",
-		Title:  "Fig. 6 — P_PDR [W] vs. frequency at die temperatures",
-		Header: []string{"freq [MHz]", "40C", "60C", "80C", "100C"},
-	}
-	byFreq := map[float64]map[float64]float64{}
-	for _, pt := range points {
-		if byFreq[pt.FreqMHz] == nil {
-			byFreq[pt.FreqMHz] = map[float64]float64{}
-		}
-		byFreq[pt.FreqMHz][pt.TempC] = pt.PDRWatts
-	}
-	for _, temp := range temps {
-		s := sim.Series{Name: fmt.Sprintf("fig6_%.0fC", temp), XLabel: "frequency_mhz", YLabel: "pdr_watts"}
-		for _, f := range freqs {
-			s.Append(f, byFreq[f][temp])
-		}
-		rep.Series = append(rep.Series, s)
-	}
-	for _, f := range freqs {
-		rep.Rows = append(rep.Rows, []string{
-			mhz(f), f2(byFreq[f][40]), f2(byFreq[f][60]), f2(byFreq[f][80]), f2(byFreq[f][100]),
-		})
-	}
-	slope40 := (byFreq[280][40] - byFreq[100][40]) / 180
-	slope100 := (byFreq[280][100] - byFreq[100][100]) / 180
-	rep.Notes = append(rep.Notes,
-		fmt.Sprintf("dynamic slope %.4f W/MHz at 40C vs %.4f at 100C (paper: temperature-independent)", slope40, slope100),
-		"static power grows super-linearly with temperature (paper's Fig. 6 observation)")
-	return rep, nil
-}
+// E2 (Fig. 5), E3 (temperature stress) and E4 (Fig. 6) live in shards.go:
+// they are sharded scenarios whose only implementation is the registry
+// path, so every consumer — campaign, pdrbench, benchmarks, tests — runs
+// the same code and reports the same numbers (use RunSequential for a
+// one-call sequential execution).
 
 // TableII (E5): power efficiency at 40 °C.
 func TableII(env *Env) (*Report, error) {

@@ -111,17 +111,17 @@ func (s *Sample) String() string {
 // Point is one (x, y) observation of a swept quantity, used by the
 // experiment runners to emit figure series.
 type Point struct {
-	X float64
-	Y float64
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
 }
 
 // Series is an ordered list of points with axis labels, rendering to CSV for
 // the figure-regeneration harness.
 type Series struct {
-	Name   string
-	XLabel string
-	YLabel string
-	Points []Point
+	Name   string  `json:"name"`
+	XLabel string  `json:"xlabel"`
+	YLabel string  `json:"ylabel"`
+	Points []Point `json:"points"`
 }
 
 // Append adds a point to the series.

@@ -1,0 +1,45 @@
+// Package workpool provides the deterministic-merge scheduling idiom the
+// campaign runner and the CLI sweeps share: n independent units, claimed
+// by index from an atomic counter, with every result written to its own
+// caller-owned slot — so the merged output never depends on the schedule.
+package workpool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes fn(0), …, fn(n-1) on up to workers goroutines (clamped to
+// [1, n]; one worker runs the units in index order on the calling
+// goroutine). fn must confine its writes to state owned by its unit index.
+// Run returns once every unit has finished.
+func Run(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,34 @@
+package workpool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 100} {
+		const n = 37
+		counts := make([]int64, n)
+		Run(n, workers, func(i int) { atomic.AddInt64(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Errorf("workers=%d: unit %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunSingleWorkerInOrder(t *testing.T) {
+	var order []int
+	Run(5, 1, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("sequential order = %v", order)
+		}
+	}
+}
+
+func TestRunZeroUnits(t *testing.T) {
+	Run(0, 4, func(int) { t.Error("fn called for n=0") })
+	Run(-1, 4, func(int) { t.Error("fn called for n<0") })
+}

@@ -1,0 +1,268 @@
+package pdr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/workpool"
+)
+
+// Re-exported campaign types.
+type (
+	// Report is one regenerated paper artefact.
+	Report = experiments.Report
+	// Scenario is a registered, discoverable experiment.
+	Scenario = experiments.Scenario
+)
+
+// Scenarios lists every registered scenario in suite order (E1…E9, A1…A5).
+func Scenarios() []Scenario { return experiments.All() }
+
+// BoardVariant selects the simulated board build a campaign runs on.
+type BoardVariant string
+
+const (
+	// ZedBoard is the calibrated paper setup: 25 °C ambient, fast
+	// test-friendly thermal time constant.
+	ZedBoard BoardVariant = "zedboard"
+	// ZedBoardSlowThermal uses the physical 2 s thermal time constant.
+	ZedBoardSlowThermal BoardVariant = "zedboard-slow-thermal"
+	// ZedBoardHot models a 45 °C chamber (harsh-environment deployments).
+	ZedBoardHot BoardVariant = "zedboard-hot"
+)
+
+func (v BoardVariant) apply(cfg *experiments.Config) error {
+	switch v {
+	case "", ZedBoard:
+	case ZedBoardSlowThermal:
+		cfg.SlowThermal = true
+	case ZedBoardHot:
+		cfg.AmbientC = 45
+	default:
+		return fmt.Errorf("pdr: unknown board variant %q (want %s, %s or %s)",
+			v, ZedBoard, ZedBoardSlowThermal, ZedBoardHot)
+	}
+	return nil
+}
+
+// CampaignOption configures NewCampaign.
+type CampaignOption func(*campaignConfig)
+
+type campaignConfig struct {
+	seed    uint64
+	workers int
+	ids     []string
+	variant BoardVariant
+	freqs   []float64
+	temps   []float64
+}
+
+// WithCampaignSeed fixes the deterministic seed (default 42, the suite's
+// reference seed).
+func WithCampaignSeed(seed uint64) CampaignOption {
+	return func(c *campaignConfig) { c.seed = seed }
+}
+
+// WithWorkers sets the worker-pool size. Each worker owns fully independent
+// Systems (their own simulation kernels — the kernel itself stays
+// single-threaded by design). n ≤ 0 means one worker per available CPU.
+func WithWorkers(n int) CampaignOption {
+	return func(c *campaignConfig) { c.workers = n }
+}
+
+// WithScenarios restricts the campaign to the given scenario IDs or aliases
+// (default: the full registered suite).
+func WithScenarios(ids ...string) CampaignOption {
+	return func(c *campaignConfig) { c.ids = append([]string(nil), ids...) }
+}
+
+// WithBoardVariant selects the simulated board build.
+func WithBoardVariant(v BoardVariant) CampaignOption {
+	return func(c *campaignConfig) { c.variant = v }
+}
+
+// WithFrequencyGrid overrides the frequency axis of the grid scenarios
+// (E2, E3, E4).
+func WithFrequencyGrid(freqsMHz ...float64) CampaignOption {
+	return func(c *campaignConfig) { c.freqs = append([]float64(nil), freqsMHz...) }
+}
+
+// WithTemperatureGrid overrides the temperature axis of the stress/power
+// scenarios (E3, E4).
+func WithTemperatureGrid(tempsC ...float64) CampaignOption {
+	return func(c *campaignConfig) { c.temps = append([]float64(nil), tempsC...) }
+}
+
+// Campaign runs a set of registered scenarios, sharded across a pool of
+// workers. Every shard is a pure function of the campaign configuration
+// and runs on its own freshly booted System, and shard reports merge by
+// index, so the output is bit-identical whatever the worker count — a
+// parallel campaign is just a faster sequential one.
+type Campaign struct {
+	cfg campaignConfig
+}
+
+// NewCampaign builds a campaign; Run executes it.
+func NewCampaign(opts ...CampaignOption) *Campaign {
+	c := &Campaign{cfg: campaignConfig{seed: 42, workers: 1}}
+	for _, fn := range opts {
+		fn(&c.cfg)
+	}
+	return c
+}
+
+// CampaignResult is the deterministic outcome of a campaign run.
+type CampaignResult struct {
+	// Reports holds one merged report per selected scenario, in selection
+	// order (suite order when no WithScenarios option was given);
+	// duplicate selections are collapsed to the first occurrence.
+	Reports []*Report
+	// Seed is the campaign seed the reports were generated at.
+	Seed uint64
+	// Workers and Units record the executed schedule's shape (they do not
+	// affect Reports).
+	Workers int
+	Units   int
+
+	// cfg is the resolved experiments configuration, kept so Markdown's
+	// shard column reflects grid/variant overrides.
+	cfg experiments.Config
+}
+
+// Render formats every report as an aligned text table.
+func (r *CampaignResult) Render() string {
+	var b strings.Builder
+	for _, rep := range r.Reports {
+		b.WriteString(rep.Render())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// JSON renders the reports as one stable JSON document.
+func (r *CampaignResult) JSON() ([]byte, error) { return experiments.EncodeJSON(r.Reports) }
+
+// Markdown renders the reports as the EXPERIMENTS.md document.
+func (r *CampaignResult) Markdown() string {
+	return experiments.MarkdownSuite(r.Reports, r.cfg)
+}
+
+type campaignUnit struct {
+	scen  int
+	shard int
+}
+
+// Run executes the campaign. It honours ctx: cancellation aborts workers
+// between measurement points and Run returns the context's error.
+func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ecfg := experiments.Config{
+		Seed:  c.cfg.seed,
+		Freqs: c.cfg.freqs,
+		Temps: c.cfg.temps,
+	}
+	if err := c.cfg.variant.apply(&ecfg); err != nil {
+		return nil, err
+	}
+
+	scens := experiments.All()
+	if len(c.cfg.ids) > 0 {
+		scens = scens[:0:0]
+		seen := make(map[string]bool)
+		for _, id := range c.cfg.ids {
+			s, ok := experiments.Lookup(id)
+			if !ok {
+				return nil, fmt.Errorf("pdr: unknown scenario %q (want %s)", id, experiments.KeyList())
+			}
+			if seen[s.ID] {
+				continue
+			}
+			seen[s.ID] = true
+			scens = append(scens, s)
+		}
+	}
+
+	// The fixed shard plan: one unit per (scenario, shard), independent of
+	// the worker count.
+	var units []campaignUnit
+	parts := make([][]*Report, len(scens))
+	for si, s := range scens {
+		n := s.Shards(ecfg)
+		parts[si] = make([]*Report, n)
+		for k := 0; k < n; k++ {
+			units = append(units, campaignUnit{scen: si, shard: k})
+		}
+	}
+
+	workers := c.cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, len(units))
+	workpool.Run(len(units), workers, func(i int) {
+		u := units[i]
+		if err := runCtx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
+		env, err := experiments.NewEnvWith(ecfg)
+		if err != nil {
+			errs[i] = err
+			cancel()
+			return
+		}
+		rep, err := scens[u.scen].Run(runCtx, env, u.shard)
+		if err != nil {
+			errs[i] = err
+			cancel()
+			return
+		}
+		parts[u.scen][u.shard] = rep
+	})
+
+	// Deterministic error selection: the lowest-index real failure wins;
+	// bare cancellations (a worker aborted because another unit failed, or
+	// the caller cancelled) only surface when nothing else went wrong.
+	var cancelled error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if cancelled == nil {
+				cancelled = err
+			}
+			continue
+		}
+		return nil, fmt.Errorf("pdr: campaign %s shard %d: %w", scens[units[i].scen].ID, units[i].shard, err)
+	}
+	if cancelled != nil {
+		return nil, cancelled
+	}
+
+	res := &CampaignResult{Seed: c.cfg.seed, Workers: workers, Units: len(units), cfg: ecfg}
+	for si, s := range scens {
+		rep := parts[si][0]
+		if s.Merge != nil {
+			var err error
+			rep, err = s.Merge(ecfg, parts[si])
+			if err != nil {
+				return nil, fmt.Errorf("pdr: campaign %s merge: %w", s.ID, err)
+			}
+		}
+		res.Reports = append(res.Reports, rep)
+	}
+	return res, nil
+}

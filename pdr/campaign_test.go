@@ -1,0 +1,163 @@
+package pdr_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/pdr"
+)
+
+// TestCampaignParallelBitIdentical is the API-level determinism contract:
+// the same campaign on 1 and on 3 workers must render, encode and note
+// byte-identically. A cheap scenario subset keeps the unit fast; the root
+// determinism test covers the full suite.
+func TestCampaignParallelBitIdentical(t *testing.T) {
+	run := func(workers int) *pdr.CampaignResult {
+		res, err := pdr.NewCampaign(
+			pdr.WithCampaignSeed(42),
+			pdr.WithWorkers(workers),
+			pdr.WithScenarios("E1", "E8", "A3"),
+		).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, par := run(1), run(3)
+	if seq.Render() != par.Render() {
+		t.Errorf("parallel render differs from sequential:\n%s\nvs\n%s", seq.Render(), par.Render())
+	}
+	j1, err := seq.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := par.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Error("parallel JSON differs from sequential")
+	}
+}
+
+func TestCampaignShardedScenario(t *testing.T) {
+	res, err := pdr.NewCampaign(
+		pdr.WithCampaignSeed(42),
+		pdr.WithWorkers(4),
+		pdr.WithScenarios("E2"),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Units != 3 {
+		t.Errorf("E2 shard plan = %d units, want 3", res.Units)
+	}
+	rep := res.Reports[0]
+	if len(rep.Rows) != 21 {
+		t.Errorf("fig5 rows = %d, want 21", len(rep.Rows))
+	}
+	if len(rep.Series) != 1 || len(rep.Series[0].Points) != 21 {
+		t.Errorf("fig5 series malformed: %+v", rep.Series)
+	}
+	// The merged curve must stay monotone in frequency: shard boundaries
+	// may not reorder points.
+	pts := rep.Series[0].Points
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X <= pts[i-1].X {
+			t.Errorf("series X not increasing at %d: %v then %v", i, pts[i-1].X, pts[i].X)
+		}
+	}
+}
+
+func TestCampaignUnknownScenario(t *testing.T) {
+	_, err := pdr.NewCampaign(pdr.WithScenarios("E42")).Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCampaignUnknownBoardVariant(t *testing.T) {
+	_, err := pdr.NewCampaign(
+		pdr.WithScenarios("E8"),
+		pdr.WithBoardVariant("zedboard-quantum"),
+	).Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "unknown board variant") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCampaignBoardVariantHot(t *testing.T) {
+	// The hot-chamber variant boots at 45 °C ambient; E8 is analytic and
+	// cheap, so this just proves the variant plumbs through to the Env.
+	res, err := pdr.NewCampaign(
+		pdr.WithScenarios("E8"),
+		pdr.WithBoardVariant(pdr.ZedBoardHot),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 1 || res.Reports[0].ID != "E8" {
+		t.Errorf("reports = %+v", res.Reports)
+	}
+}
+
+func TestCampaignGridOverride(t *testing.T) {
+	res, err := pdr.NewCampaign(
+		pdr.WithCampaignSeed(42),
+		pdr.WithWorkers(2),
+		pdr.WithScenarios("E3"),
+		pdr.WithFrequencyGrid(100, 200),
+		pdr.WithTemperatureGrid(40, 100),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Units != 2 {
+		t.Errorf("override shard plan = %d units, want one per temperature (2)", res.Units)
+	}
+	rep := res.Reports[0]
+	if len(rep.Rows) != 2 || len(rep.Rows[0]) != 3 {
+		t.Errorf("stress table shape = %dx%d, want 2x3", len(rep.Rows), len(rep.Rows[0]))
+	}
+}
+
+func TestCampaignCancelledBeforeRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := pdr.NewCampaign(pdr.WithScenarios("E1")).Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCampaignCancelledMidRun cancels while workers are inside the stress
+// matrix; the campaign must stop between measurement points and surface the
+// cancellation rather than a partial result.
+func TestCampaignCancelledMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(10*time.Millisecond, cancel)
+	defer timer.Stop()
+	defer cancel()
+	res, err := pdr.NewCampaign(
+		pdr.WithCampaignSeed(42),
+		pdr.WithWorkers(2),
+	).Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v (res = %v), want context.Canceled", err, res != nil)
+	}
+}
+
+func TestScenariosListing(t *testing.T) {
+	ids := map[string]bool{}
+	for _, s := range pdr.Scenarios() {
+		ids[s.ID] = true
+	}
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "A1", "A2", "A3", "A4", "A5"} {
+		if !ids[want] {
+			t.Errorf("registry missing %s", want)
+		}
+	}
+}

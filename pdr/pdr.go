@@ -84,8 +84,9 @@ type System struct {
 	Board      *board.Board
 	Controller *core.Controller
 
-	meter   *power.Meter
-	bsCache map[string]*bitstream.Bitstream
+	meter    *power.Meter
+	bsCache  map[string]*bitstream.Bitstream
+	sramInit bool
 }
 
 // NewSystem builds and boots a simulated ZedBoard with the PDR design.
@@ -252,10 +253,14 @@ func (s *System) PoissonTrace(seed uint64, n int, meanGapUS float64, asps []stri
 
 // SRAMPipeline builds the Sec.-VI proposed reconfiguration environment
 // sharing this system's fabric (its own DDR port, hard-macro ICAP at
-// 550 MHz).
+// 550 MHz). A system supports one pipeline: a second call would register a
+// duplicate DDR master contending for the same port, so it is rejected.
 func (s *System) SRAMPipeline() (*srampdr.System, error) {
+	if s.sramInit {
+		return nil, fmt.Errorf("pdr: SRAM pipeline already initialised for this system")
+	}
 	p := s.Platform()
-	return srampdr.New(srampdr.Config{
+	sys, err := srampdr.New(srampdr.Config{
 		Kernel: p.Kernel,
 		Device: p.Device,
 		Memory: p.Memory,
@@ -263,6 +268,11 @@ func (s *System) SRAMPipeline() (*srampdr.System, error) {
 		TempC:  func() float64 { return p.Die.TempC() },
 		Seed:   99,
 	})
+	if err != nil {
+		return nil, err
+	}
+	s.sramInit = true
+	return sys, nil
 }
 
 // RunFor advances simulated time (e.g. to let temperature settle).

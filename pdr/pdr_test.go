@@ -45,6 +45,70 @@ func TestLoadASPUnknownNames(t *testing.T) {
 	}
 }
 
+// TestMeasurementUnknownNames covers the BuildBitstream error path of every
+// measurement entry point: each must reject unknown RP and ASP names rather
+// than measure garbage.
+func TestMeasurementUnknownNames(t *testing.T) {
+	sys := newSys(t)
+	freqs := []float64{100}
+	temps := []float64{40}
+	if _, err := sys.Sweep("RP9", "fir128", freqs); err == nil {
+		t.Error("Sweep with unknown RP must fail")
+	}
+	if _, err := sys.Sweep("RP1", "ghost", freqs); err == nil {
+		t.Error("Sweep with unknown ASP must fail")
+	}
+	if _, err := sys.StressMatrix("RP9", "fir128", freqs, temps); err == nil {
+		t.Error("StressMatrix with unknown RP must fail")
+	}
+	if _, err := sys.PowerGrid("RP1", "ghost", freqs, temps); err == nil {
+		t.Error("PowerGrid with unknown ASP must fail")
+	}
+	if _, err := sys.Optimize("RP9", "fir128", freqs, 100, 0.1); err == nil {
+		t.Error("Optimize with unknown RP must fail")
+	}
+	if _, err := sys.RobustLoad("RP1", "ghost"); err == nil {
+		t.Error("RobustLoad with unknown ASP must fail")
+	}
+}
+
+// TestOutOfRangeFrequency exercises the MMCM feasibility check: targets the
+// Clock Wizard cannot synthesise must be rejected, leaving the previous
+// frequency programmed.
+func TestOutOfRangeFrequency(t *testing.T) {
+	sys := newSys(t)
+	before, err := sys.SetFrequencyMHz(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 MHz is below the MMCM floor (VCO 600 MHz / max outdiv 128 ≈ 4.7);
+	// 20 GHz is above the VCO ceiling.
+	for _, f := range []float64{0, -100, 4, 20000} {
+		if _, err := sys.SetFrequencyMHz(f); err == nil {
+			t.Errorf("SetFrequencyMHz(%v) accepted", f)
+		}
+	}
+	res, err := sys.LoadASP("RP1", "fir128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.FreqMHz-before) > 1 {
+		t.Errorf("frequency after rejected retune = %v, want %v", res.FreqMHz, before)
+	}
+}
+
+// TestSRAMPipelineDoubleInit: a system owns at most one Sec.-VI pipeline —
+// a second init would register a duplicate DDR master on the same port.
+func TestSRAMPipelineDoubleInit(t *testing.T) {
+	sys := newSys(t)
+	if _, err := sys.SRAMPipeline(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.SRAMPipeline(); err == nil {
+		t.Error("second SRAMPipeline init must fail")
+	}
+}
+
 func TestBitstreamCacheReuse(t *testing.T) {
 	sys := newSys(t)
 	a, err := sys.BuildBitstream("RP1", "sha3")
