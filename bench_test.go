@@ -13,6 +13,7 @@ import (
 	"repro/internal/bitstream"
 	"repro/internal/experiments"
 	"repro/internal/fabric"
+	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/workload"
 	"repro/pdr"
@@ -269,8 +270,8 @@ func benchFrames(n int) [][]uint32 {
 
 // BenchmarkBitstreamBuild measures assembling the 529 KB partial bitstream.
 func BenchmarkBitstreamBuild(b *testing.B) {
-	dev := fabric.Z7020()
-	rp := fabric.StandardRPs(dev)[0]
+	dev := platform.Default().NewDevice()
+	rp := platform.Default().RPs(dev)[0]
 	frames := benchFrames(dev.RegionFrames(rp))
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -300,8 +301,8 @@ func BenchmarkConfigCRC(b *testing.B) {
 // BenchmarkCompress / BenchmarkDecompress measure the Sec.-VI RLE codec on
 // a realistic image.
 func BenchmarkCompress(b *testing.B) {
-	dev := fabric.Z7020()
-	rp := fabric.StandardRPs(dev)[0]
+	dev := platform.Default().NewDevice()
+	rp := platform.Default().RPs(dev)[0]
 	asp, err := workload.LibraryASP("fir128")
 	if err != nil {
 		b.Fatal(err)
@@ -321,8 +322,8 @@ func BenchmarkCompress(b *testing.B) {
 }
 
 func BenchmarkDecompress(b *testing.B) {
-	dev := fabric.Z7020()
-	rp := fabric.StandardRPs(dev)[0]
+	dev := platform.Default().NewDevice()
+	rp := platform.Default().RPs(dev)[0]
 	asp, err := workload.LibraryASP("fir128")
 	if err != nil {
 		b.Fatal(err)

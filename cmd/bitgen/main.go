@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/bitstream"
 	"repro/internal/fabric"
+	"repro/internal/platform"
 	"repro/internal/workload"
 )
 
@@ -30,15 +31,16 @@ func main() {
 	all := flag.Bool("all", false, "generate every library ASP (into -dir)")
 	dir := flag.String("dir", ".", "output directory for -all")
 	list := flag.Bool("list", false, "print the ASP library and exit")
+	plat := flag.String("platform", "", "platform profile the RP geometry comes from (default zedboard)")
 	flag.Parse()
 
-	if err := realMain(*asp, *rp, *out, *compress, *inspect, *all, *dir, *list); err != nil {
+	if err := realMain(*asp, *rp, *out, *compress, *inspect, *all, *dir, *list, *plat); err != nil {
 		fmt.Fprintln(os.Stderr, "bitgen:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(aspName, rpName, out string, compress bool, inspect string, all bool, dir string, list bool) error {
+func realMain(aspName, rpName, out string, compress bool, inspect string, all bool, dir string, list bool, plat string) error {
 	if list {
 		fmt.Printf("%-12s %-6s %-12s %-10s %s\n", "ASP", "fill", "compute", "clock", "mem MB/s")
 		for _, a := range workload.Library() {
@@ -51,14 +53,18 @@ func realMain(aspName, rpName, out string, compress bool, inspect string, all bo
 		return doInspect(inspect)
 	}
 	if all {
-		return doAll(rpName, dir, compress)
+		return doAll(rpName, dir, compress, plat)
 	}
 	if aspName == "" || out == "" {
 		return fmt.Errorf("need -asp and -out (or -all/-list/-inspect); ASPs: %s", aspNames())
 	}
-	dev := fabric.Z7020()
+	prof, ok := platform.Lookup(plat)
+	if !ok {
+		return fmt.Errorf("unknown platform %q (want %s)", plat, platform.NameList())
+	}
+	dev := prof.NewDevice()
 	var region *fabric.Region
-	for _, r := range fabric.StandardRPs(dev) {
+	for _, r := range prof.RPs(dev) {
 		if r.Name == rpName {
 			r := r
 			region = &r
@@ -94,7 +100,7 @@ func realMain(aspName, rpName, out string, compress bool, inspect string, all bo
 
 // doAll writes every library ASP's image for the RP into dir, so a whole
 // SD card's worth of bitstreams comes from one command.
-func doAll(rpName, dir string, compress bool) error {
+func doAll(rpName, dir string, compress bool, plat string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -104,7 +110,7 @@ func doAll(rpName, dir string, compress bool) error {
 			ext = ".bitc"
 		}
 		out := filepath.Join(dir, a.Name+ext)
-		if err := realMain(a.Name, rpName, out, compress, "", false, "", false); err != nil {
+		if err := realMain(a.Name, rpName, out, compress, "", false, "", false, plat); err != nil {
 			return fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}

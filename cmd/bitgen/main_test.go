@@ -10,7 +10,7 @@ import (
 )
 
 func gen(aspName, rpName, out string, compress bool, inspect string) error {
-	return realMain(aspName, rpName, out, compress, inspect, false, "", false)
+	return realMain(aspName, rpName, out, compress, inspect, false, "", false, "")
 }
 
 func TestGenerateAndInspect(t *testing.T) {
@@ -51,7 +51,7 @@ func TestGenerateCompressed(t *testing.T) {
 
 func TestGenerateAll(t *testing.T) {
 	dir := t.TempDir()
-	if err := realMain("", "RP1", "", false, "", true, dir, false); err != nil {
+	if err := realMain("", "RP1", "", false, "", true, dir, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	for _, a := range workload.Library() {
@@ -62,7 +62,7 @@ func TestGenerateAll(t *testing.T) {
 }
 
 func TestListLibrary(t *testing.T) {
-	if err := realMain("", "", "", false, "", false, "", true); err != nil {
+	if err := realMain("", "", "", false, "", false, "", true, ""); err != nil {
 		t.Fatal(err)
 	}
 }

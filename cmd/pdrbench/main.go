@@ -7,13 +7,14 @@
 //
 //	pdrbench                      # run the full E1–A5 suite sequentially
 //	pdrbench -run E1,E3           # a subset, by ID or legacy alias
+//	pdrbench -platform zc706      # run on another registered platform
 //	pdrbench -parallel 4          # shard the suite over 4 workers
 //	                              # (output is byte-identical to -parallel 1)
 //	pdrbench -parallel 0          # one worker per CPU
 //	pdrbench -json                # machine-readable reports
 //	pdrbench -md > EXPERIMENTS.md # regenerate the committed artefact file
 //	pdrbench -csv out/            # also write figure series as CSV files
-//	pdrbench -list                # show the registered scenarios
+//	pdrbench -list                # show the registered scenarios + platforms
 package main
 
 import (
@@ -32,6 +33,7 @@ import (
 
 type options struct {
 	run      string
+	platform string
 	parallel int
 	seed     uint64
 	jsonOut  bool
@@ -43,6 +45,7 @@ type options struct {
 func main() {
 	var opts options
 	flag.StringVar(&opts.run, "run", "all", "comma-separated scenario IDs or aliases (see -list)")
+	flag.StringVar(&opts.platform, "platform", "", "platform profile to run on (default zedboard; see -list)")
 	flag.IntVar(&opts.parallel, "parallel", 1, "campaign workers (0 = one per CPU)")
 	flag.Uint64Var(&opts.seed, "seed", 42, "simulation seed")
 	flag.BoolVar(&opts.jsonOut, "json", false, "emit reports as JSON")
@@ -66,6 +69,9 @@ func realMain(ctx context.Context, w io.Writer, opts options) error {
 	copts := []pdr.CampaignOption{
 		pdr.WithCampaignSeed(opts.seed),
 		pdr.WithWorkers(opts.parallel),
+	}
+	if opts.platform != "" {
+		copts = append(copts, pdr.WithBoardVariant(pdr.BoardVariant(opts.platform)))
 	}
 	if opts.run != "" && opts.run != "all" {
 		var ids []string
@@ -129,5 +135,16 @@ func listScenarios(w io.Writer) error {
 			return err
 		}
 	}
+	fmt.Fprintf(w, "\nplatforms (-platform):\n%-22s %-20s %-9s %s\n", "name", "board", "part", "summary")
+	for _, p := range pdr.Platforms() {
+		name := p.Name
+		if p.Variant {
+			name += " *"
+		}
+		if _, err := fmt.Fprintf(w, "%-22s %-20s %-9s %s\n", name, p.Board, p.Part, p.Summary); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w, "(* = preset of another board)")
 	return nil
 }

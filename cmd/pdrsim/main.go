@@ -14,6 +14,7 @@
 //	pdrsim -parallel 4     # same walk, sharded over 4 workers
 //	pdrsim -switches 3     # one setting (3 → 200 MHz per the switch table)
 //	pdrsim -heat 100       # heat-gun the die first (Sec. IV-A)
+//	pdrsim -platform zc706 # replay the flow on another registered platform
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 
 	"repro/internal/board"
 	"repro/internal/core"
+	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/workload"
 	"repro/internal/workpool"
@@ -36,19 +38,24 @@ func main() {
 	heat := flag.Float64("heat", 0, "heat-gun die target in °C (0 = off)")
 	seed := flag.Uint64("seed", 7, "simulation seed")
 	parallel := flag.Int("parallel", 1, "workers for the switch sweep (0 = one per CPU)")
+	plat := flag.String("platform", "", "platform profile to simulate (default zedboard; see pdrbench -list)")
 	flag.Parse()
 
-	if err := realMain(*switches, *heat, *seed, *parallel); err != nil {
+	if err := realMain(*switches, *heat, *seed, *parallel, *plat); err != nil {
 		fmt.Fprintln(os.Stderr, "pdrsim:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(switches int, heat float64, seed uint64, parallel int) error {
+func realMain(switches int, heat float64, seed uint64, parallel int, plat string) error {
+	prof, ok := platform.Lookup(plat)
+	if !ok {
+		return fmt.Errorf("unknown platform %q (want %s)", plat, platform.NameList())
+	}
 	settings := []int{switches}
 	if switches < 0 {
 		settings = settings[:0]
-		for i := range board.SwitchTable {
+		for i := range prof.IO.SwitchTableMHz {
 			settings = append(settings, i)
 		}
 	}
@@ -59,7 +66,7 @@ func realMain(switches int, heat float64, seed uint64, parallel int) error {
 		parallel = runtime.GOMAXPROCS(0)
 	}
 	workpool.Run(len(settings), parallel, func(i int) {
-		transcripts[i], errs[i] = runSetting(settings[i], heat, seed)
+		transcripts[i], errs[i] = runSetting(prof, settings[i], heat, seed)
 	})
 	for i, err := range errs {
 		if err != nil {
@@ -70,10 +77,11 @@ func realMain(switches int, heat float64, seed uint64, parallel int) error {
 	return nil
 }
 
-// runSetting boots a fresh board, optionally heats it, selects the switch
-// setting and performs the button-driven load, returning the transcript.
-func runSetting(sw int, heat float64, seed uint64) (string, error) {
-	p, err := zynq.NewPlatform(zynq.Options{Seed: seed, FastThermal: true})
+// runSetting boots a fresh board of the given platform, optionally heats
+// it, selects the switch setting and performs the button-driven load,
+// returning the transcript.
+func runSetting(prof *platform.Profile, sw int, heat float64, seed uint64) (string, error) {
+	p, err := zynq.NewPlatform(zynq.Options{Seed: seed, Profile: prof, FastThermal: true})
 	if err != nil {
 		return "", err
 	}

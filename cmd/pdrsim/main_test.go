@@ -3,28 +3,30 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/platform"
 )
 
 func TestSingleSwitchSetting(t *testing.T) {
-	if err := realMain(3, 0, 7, 1); err != nil { // 3 → 200 MHz
+	if err := realMain(3, 0, 7, 1, ""); err != nil { // 3 → 200 MHz
 		t.Fatal(err)
 	}
 }
 
 func TestHangSetting(t *testing.T) {
-	if err := realMain(6, 0, 7, 1); err != nil { // 6 → 310 MHz: no interrupt
+	if err := realMain(6, 0, 7, 1, ""); err != nil { // 6 → 310 MHz: no interrupt
 		t.Fatal(err)
 	}
 }
 
 func TestWithHeatGun(t *testing.T) {
-	if err := realMain(0, 80, 7, 1); err != nil {
+	if err := realMain(0, 80, 7, 1, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestParallelSweep(t *testing.T) {
-	if err := realMain(-1, 0, 7, 4); err != nil {
+	if err := realMain(-1, 0, 7, 4, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -33,11 +35,11 @@ func TestParallelSweep(t *testing.T) {
 // on its own freshly booted board, so repeated runs (and therefore any
 // parallel schedule of the sweep) produce identical text.
 func TestSettingDeterministic(t *testing.T) {
-	a, err := runSetting(3, 0, 7)
+	a, err := runSetting(platform.Default(), 3, 0, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := runSetting(3, 0, 7)
+	b, err := runSetting(platform.Default(), 3, 0, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,6 +48,28 @@ func TestSettingDeterministic(t *testing.T) {
 	}
 	if !strings.Contains(a, "200 MHz") {
 		t.Errorf("transcript missing frequency:\n%s", a)
+	}
+}
+
+func TestUnknownPlatformRejected(t *testing.T) {
+	err := realMain(3, 0, 7, 1, "zedboard-quantum")
+	if err == nil || !strings.Contains(err.Error(), "unknown platform") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestOtherPlatformSetting(t *testing.T) {
+	// The Fig.-4 flow must replay on a non-default registered platform.
+	zybo, ok := platform.Lookup("zybo-z7-10")
+	if !ok {
+		t.Fatal("zybo-z7-10 not registered")
+	}
+	out, err := runSetting(zybo, 3, 0, 7) // switch 3 → 180 MHz on the Zybo
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "180 MHz") {
+		t.Errorf("zybo transcript missing its switch-3 frequency:\n%s", out)
 	}
 }
 

@@ -23,10 +23,14 @@ type LiteBus struct {
 	reads  uint64
 }
 
-// NewLiteBus creates a register bus with the ZedBoard-calibrated latencies
-// (about 120 ns per access through the GP port and interconnect).
-func NewLiteBus(k *sim.Kernel) *LiteBus {
-	return &LiteBus{kernel: k, WriteLatency: 120 * sim.Nanosecond, ReadLatency: 120 * sim.Nanosecond}
+// NewLiteBus creates a register bus with the given per-access latencies
+// (the calibrated values for each board live in internal/platform — about
+// 120 ns through the ZedBoard's GP port and interconnect).
+func NewLiteBus(k *sim.Kernel, writeLatency, readLatency sim.Duration) *LiteBus {
+	if writeLatency <= 0 || readLatency <= 0 {
+		panic("axi: non-positive register-access latency")
+	}
+	return &LiteBus{kernel: k, WriteLatency: writeLatency, ReadLatency: readLatency}
 }
 
 // Write performs a register write, invoking fn when it completes.
@@ -150,13 +154,12 @@ func (f *StreamFIFO) Release(bytes int) {
 	}
 }
 
-// CDCSyncCycles is the clock-domain-crossing handshake cost per burst, in
-// cycles of the destination (over-clocked) domain. The fractional value is
-// the average of the 1–2-cycle synchroniser: it is what bends Fig. 5's
-// plateau slightly upward between 240 and 280 MHz (DESIGN.md §2).
-const CDCSyncCycles = 1.1
-
-// CDCDelay returns the handshake duration at destination frequency f.
-func CDCDelay(f sim.Hz) sim.Duration {
-	return sim.Duration(CDCSyncCycles * 1e12 / float64(f))
+// CDCDelay returns the clock-domain-crossing handshake duration for a
+// synchroniser costing cycles cycles of the destination domain at frequency
+// f. The per-board calibrated cycle count lives in internal/platform; the
+// ZedBoard's fractional 1.1 (the average of a 1–2-cycle synchroniser) is
+// what bends Fig. 5's plateau slightly upward between 240 and 280 MHz
+// (DESIGN.md §2).
+func CDCDelay(cycles float64, f sim.Hz) sim.Duration {
+	return sim.Duration(cycles * 1e12 / float64(f))
 }

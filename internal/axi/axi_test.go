@@ -9,7 +9,7 @@ import (
 
 func TestLiteBusLatencies(t *testing.T) {
 	k := sim.NewKernel()
-	b := NewLiteBus(k)
+	b := NewLiteBus(k, 120*sim.Nanosecond, 120*sim.Nanosecond)
 	var wAt, rAt sim.Time
 	b.Write(func() { wAt = k.Now() })
 	k.Run()
@@ -29,7 +29,7 @@ func TestLiteBusLatencies(t *testing.T) {
 
 func TestLiteBusWriteN(t *testing.T) {
 	k := sim.NewKernel()
-	b := NewLiteBus(k)
+	b := NewLiteBus(k, 120*sim.Nanosecond, 120*sim.Nanosecond)
 	var at sim.Time
 	b.WriteN(6, func() { at = k.Now() })
 	k.Run()
@@ -132,8 +132,8 @@ func TestStreamFIFOPanicsOnMisuse(t *testing.T) {
 }
 
 func TestCDCDelayScalesInversely(t *testing.T) {
-	d100 := CDCDelay(100 * sim.MHz)
-	d200 := CDCDelay(200 * sim.MHz)
+	d100 := CDCDelay(1.1, 100*sim.MHz)
+	d200 := CDCDelay(1.1, 200*sim.MHz)
 	if math.Abs(float64(d100)-2*float64(d200)) > 2 {
 		t.Errorf("CDC delay not inverse in f: %v vs %v", d100, d200)
 	}

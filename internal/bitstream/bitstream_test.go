@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/fabric"
+	"repro/internal/platform"
 	"repro/internal/sim"
 )
 
@@ -29,8 +30,8 @@ func testFrames(n int, seed uint64) [][]uint32 {
 
 func buildStandard(t *testing.T) (*fabric.Device, fabric.Region, *Bitstream) {
 	t.Helper()
-	d := fabric.Z7020()
-	rp := fabric.StandardRPs(d)[0]
+	d := platform.Default().NewDevice()
+	rp := platform.Default().RPs(d)[0]
 	bs, err := Build(d, rp, "asp-fir", testFrames(d.RegionFrames(rp), 1))
 	if err != nil {
 		t.Fatal(err)
@@ -90,8 +91,8 @@ func TestParseHeaderDetectsCorruption(t *testing.T) {
 }
 
 func TestBuildValidatesInput(t *testing.T) {
-	d := fabric.Z7020()
-	rp := fabric.StandardRPs(d)[0]
+	d := platform.Default().NewDevice()
+	rp := platform.Default().RPs(d)[0]
 	if _, err := Build(d, rp, "x", testFrames(3, 1)); err == nil {
 		t.Error("wrong frame count must fail")
 	}
@@ -342,8 +343,8 @@ func TestRegAndCmdStrings(t *testing.T) {
 func TestConfigCRCMatchesBitstreamField(t *testing.T) {
 	// Replaying the builder's FDRI payload through a fresh ConfigCRC (with
 	// the same register-write sequence) must land on Bitstream.ConfigCRC.
-	d := fabric.Z7020()
-	rp := fabric.StandardRPs(d)[0]
+	d := platform.Default().NewDevice()
+	rp := platform.Default().RPs(d)[0]
 	frames := testFrames(d.RegionFrames(rp), 5)
 	bs, err := Build(d, rp, "crc-check", frames)
 	if err != nil {

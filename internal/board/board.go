@@ -1,14 +1,17 @@
-// Package board models the ZedBoard around the Zynq: the 8 slide switches
-// that select the over-clock frequency in the paper's test setup, the push
-// buttons that start ICAP operations, the OLED status display (Fig. 3), the
-// SD card the system boots from, and the current-sense headers feeding the
-// power measurements.
+// Package board models the evaluation board around the Zynq: the slide
+// switches that select the over-clock frequency in the paper's test setup,
+// the push buttons that start ICAP operations, the OLED status display
+// (Fig. 3), the SD card the system boots from, and the current-sense
+// headers feeding the power measurements. The board's calibration (switch
+// table, SD rate, meter resolution) comes from the platform profile the
+// underlying zynq.Platform was built with.
 package board
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"unicode/utf8"
 
 	"repro/internal/boot"
 	"repro/internal/power"
@@ -30,13 +33,23 @@ type OLED struct {
 	lines [4]string
 }
 
-// SetLine writes one display line (truncated to 21 chars like the panel).
+// oledWidth is the panel's line width in bytes.
+const oledWidth = 21
+
+// SetLine writes one display line (truncated to 21 bytes like the panel).
+// Truncation never splits a multi-byte UTF-8 rune: the cut backs up to the
+// previous rune boundary so a line like "T=39.9°C…" cannot end in a mangled
+// partial character.
 func (o *OLED) SetLine(i int, s string) {
 	if i < 0 || i >= len(o.lines) {
 		return
 	}
-	if len(s) > 21 {
-		s = s[:21]
+	if len(s) > oledWidth {
+		cut := oledWidth
+		for cut > 0 && !utf8.RuneStart(s[cut]) {
+			cut--
+		}
+		s = s[:cut]
 	}
 	o.lines[i] = s
 }
@@ -83,12 +96,7 @@ func (sd *SDCard) Files() []string {
 	return out
 }
 
-// SwitchTable maps the 8 slide switches to over-clock frequencies, as in the
-// paper's test setup ("we select the over-clocking frequency by the 8
-// switches"). Switch value = index into the tested frequency list.
-var SwitchTable = []float64{100, 140, 180, 200, 240, 280, 310, 320, 360}
-
-// Board is the assembled ZedBoard.
+// Board is the assembled evaluation board.
 type Board struct {
 	Platform *zynq.Platform
 	OLED     *OLED
@@ -111,8 +119,11 @@ func New(p *zynq.Platform) *Board {
 	}
 }
 
-// SDBytesPerSec is the card's streaming rate during boot.
-const SDBytesPerSec = 20e6
+// SwitchTable maps the slide switches to over-clock frequencies, as in the
+// paper's test setup ("we select the over-clocking frequency by the 8
+// switches"). Switch value = index into the platform profile's tested
+// frequency list.
+func (b *Board) SwitchTable() []float64 { return b.Platform.Profile.IO.SwitchTableMHz }
 
 // Boot models powering the board with the SD card inserted: the boot ROM
 // reads boot.bin, the FSBL brings up the PS and the PCAP loads the static
@@ -125,7 +136,7 @@ func (b *Board) Boot() error {
 		return fmt.Errorf("board: cannot boot: %w", err)
 	}
 	if img, perr := boot.Parse(raw); perr == nil {
-		b.Platform.Kernel.RunFor(sim.FromSeconds(float64(img.TotalBytes()) / SDBytesPerSec))
+		b.Platform.Kernel.RunFor(sim.FromSeconds(float64(img.TotalBytes()) / b.Platform.Profile.IO.SDBytesPerSec))
 	} else if len(raw) >= 8 && string(raw[:8]) == "ZBOOTIMG" {
 		// It claimed to be a boot image but failed validation: refuse, as
 		// the boot ROM would.
@@ -148,12 +159,14 @@ func (b *Board) SetSwitches(v uint8) { b.switches = v }
 // Switches reads the slide switches.
 func (b *Board) Switches() uint8 { return b.switches }
 
-// SelectedFrequencyMHz decodes the switch setting through SwitchTable.
+// SelectedFrequencyMHz decodes the switch setting through the profile's
+// switch table.
 func (b *Board) SelectedFrequencyMHz() (float64, error) {
-	if int(b.switches) >= len(SwitchTable) {
-		return 0, fmt.Errorf("board: switch value %d beyond table (%d entries)", b.switches, len(SwitchTable))
+	table := b.SwitchTable()
+	if int(b.switches) >= len(table) {
+		return 0, fmt.Errorf("board: switch value %d beyond table (%d entries)", b.switches, len(table))
 	}
-	return SwitchTable[b.switches], nil
+	return table[b.switches], nil
 }
 
 // OnButton installs a press handler.

@@ -3,6 +3,7 @@ package board
 import (
 	"strings"
 	"testing"
+	"unicode/utf8"
 
 	"repro/internal/boot"
 	"repro/internal/sim"
@@ -57,7 +58,7 @@ func TestSDCardStoreLoadList(t *testing.T) {
 
 func TestSwitchesSelectFrequency(t *testing.T) {
 	b := newBoard(t)
-	for i, want := range SwitchTable {
+	for i, want := range b.SwitchTable() {
 		b.SetSwitches(uint8(i))
 		got, err := b.SelectedFrequencyMHz()
 		if err != nil {
@@ -102,6 +103,29 @@ func TestOLEDTruncatesAndBounds(t *testing.T) {
 	o.SetLine(1, "two")
 	if !strings.Contains(o.String(), "two") {
 		t.Error("String missing content")
+	}
+}
+
+func TestOLEDTruncatesOnRuneBoundary(t *testing.T) {
+	o := &OLED{}
+	// 20 ASCII bytes followed by a 2-byte rune: byte 21 lands mid-rune, so a
+	// naive s[:21] would split "°" into an invalid byte.
+	s := strings.Repeat("a", 20) + "°C"
+	o.SetLine(0, s)
+	got := o.Line(0)
+	if !utf8.ValidString(got) {
+		t.Fatalf("truncated line is not valid UTF-8: %q", got)
+	}
+	if got != strings.Repeat("a", 20) {
+		t.Errorf("line = %q, want the 20 a's with the split rune dropped", got)
+	}
+	if len(got) > 21 {
+		t.Errorf("line length = %d bytes, want ≤ 21", len(got))
+	}
+	// A line of pure multi-byte runes must also cut cleanly.
+	o.SetLine(1, strings.Repeat("°", 15)) // 30 bytes
+	if l := o.Line(1); !utf8.ValidString(l) || len(l) > 21 || len(l)%2 != 0 {
+		t.Errorf("multi-byte line = %q (%d bytes)", l, len(l))
 	}
 }
 

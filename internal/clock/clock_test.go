@@ -8,6 +8,22 @@ import (
 	"repro/internal/sim"
 )
 
+// sevenSeries mirrors the ZedBoard's MMCM limits (the calibrated copy lives
+// in internal/platform; these tests only need a representative space).
+var sevenSeries = Limits{
+	VCOMin: 600 * sim.MHz, VCOMax: 1200 * sim.MHz,
+	MultMin: 2, MultMax: 64, MultStep: 0.125,
+	DivMin: 1, DivMax: 106,
+	OutDivMin: 1, OutDivMax: 128,
+	MaxPFD: 550 * sim.MHz, MinPFD: 10 * sim.MHz,
+}
+
+const testLockTime = 100 * sim.Microsecond
+
+func testWizard(k *sim.Kernel, out *Domain) (*Wizard, error) {
+	return NewWizard(k, WizardConfig{Fin: 100 * sim.MHz, Limits: sevenSeries, LockTime: testLockTime}, out)
+}
+
 func TestDomainBasics(t *testing.T) {
 	d := NewDomain("icap", 100*sim.MHz)
 	if d.Name() != "icap" {
@@ -68,13 +84,13 @@ func TestSolvePaperFrequencies(t *testing.T) {
 	// 100 MHz FCLK within 0.5%.
 	for _, mhz := range []float64{100, 140, 180, 200, 240, 280, 310, 320, 360} {
 		target := sim.Hz(mhz * 1e6)
-		s, err := Solve(100*sim.MHz, target)
+		s, err := sevenSeries.Solve(100*sim.MHz, target)
 		if err != nil {
 			t.Fatalf("Solve(100MHz, %v MHz): %v", mhz, err)
 		}
 		vco := s.VCO(100 * sim.MHz)
-		if vco < VCOMin || vco > VCOMax {
-			t.Errorf("%v MHz: VCO %v outside [%v,%v]", mhz, vco, VCOMin, VCOMax)
+		if vco < sevenSeries.VCOMin || vco > sevenSeries.VCOMax {
+			t.Errorf("%v MHz: VCO %v outside [%v,%v]", mhz, vco, sevenSeries.VCOMin, sevenSeries.VCOMax)
 		}
 		got := s.Output(100 * sim.MHz)
 		rel := math.Abs(float64(got)-float64(target)) / float64(target)
@@ -93,7 +109,7 @@ func TestSolveExactCases(t *testing.T) {
 		{550 * sim.MHz}, // the Sec.-VI SRAM clock
 	}
 	for _, tt := range tests {
-		s, err := Solve(100*sim.MHz, tt.target)
+		s, err := sevenSeries.Solve(100*sim.MHz, tt.target)
 		if err != nil {
 			t.Fatalf("Solve(%v): %v", tt.target, err)
 		}
@@ -104,10 +120,10 @@ func TestSolveExactCases(t *testing.T) {
 }
 
 func TestSolveUnreachable(t *testing.T) {
-	if _, err := Solve(100*sim.MHz, 5*sim.GHz); err == nil {
+	if _, err := sevenSeries.Solve(100*sim.MHz, 5*sim.GHz); err == nil {
 		t.Error("5 GHz should be unreachable")
 	}
-	if _, err := Solve(100*sim.MHz, 0); err == nil {
+	if _, err := sevenSeries.Solve(100*sim.MHz, 0); err == nil {
 		t.Error("zero target should error")
 	}
 }
@@ -118,12 +134,12 @@ func TestSolveVCOConstraintProperty(t *testing.T) {
 	prop := func(raw uint16) bool {
 		mhz := float64(80 + raw%520) // 80..599 MHz
 		target := sim.Hz(mhz * 1e6)
-		s, err := Solve(100*sim.MHz, target)
+		s, err := sevenSeries.Solve(100*sim.MHz, target)
 		if err != nil {
 			return true // unreachable is acceptable; correctness is about returned solutions
 		}
 		vco := s.VCO(100 * sim.MHz)
-		if vco < VCOMin || vco > VCOMax {
+		if vco < sevenSeries.VCOMin || vco > sevenSeries.VCOMax {
 			return false
 		}
 		rel := math.Abs(float64(s.Output(100*sim.MHz))-float64(target)) / float64(target)
@@ -137,7 +153,7 @@ func TestSolveVCOConstraintProperty(t *testing.T) {
 func TestWizardSetRateTakesLockTime(t *testing.T) {
 	k := sim.NewKernel()
 	out := NewDomain("icap", 100*sim.MHz)
-	w, err := NewWizard(k, 100*sim.MHz, out)
+	w, err := testWizard(k, out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,8 +176,8 @@ func TestWizardSetRateTakesLockTime(t *testing.T) {
 	if !w.Locked() {
 		t.Error("wizard should re-lock")
 	}
-	if lockedAt != sim.Time(LockTime) {
-		t.Errorf("locked at %v, want %v", lockedAt, sim.Time(LockTime))
+	if lockedAt != sim.Time(testLockTime) {
+		t.Errorf("locked at %v, want %v", lockedAt, sim.Time(testLockTime))
 	}
 	if achieved != actual {
 		t.Errorf("callback freq %v != returned %v", achieved, actual)
@@ -177,7 +193,7 @@ func TestWizardSetRateTakesLockTime(t *testing.T) {
 func TestWizardRejectsUnreachable(t *testing.T) {
 	k := sim.NewKernel()
 	out := NewDomain("icap", 100*sim.MHz)
-	w, err := NewWizard(k, 100*sim.MHz, out)
+	w, err := testWizard(k, out)
 	if err != nil {
 		t.Fatal(err)
 	}

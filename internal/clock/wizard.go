@@ -8,32 +8,20 @@ import (
 	"repro/internal/sim"
 )
 
-// MMCM parameter limits for a 7-series device of the Zynq-7020 class
-// (speed grade -1). The Clock Wizard searches this space.
-const (
-	// VCO operating range.
-	VCOMin sim.Hz = 600 * sim.MHz
-	VCOMax sim.Hz = 1200 * sim.MHz
-	// Multiplier M (CLKFBOUT_MULT), divider D (DIVCLK_DIVIDE) and output
-	// divider O (CLKOUT_DIVIDE). Real hardware allows fractional M and O in
-	// 0.125 steps on CLKOUT0; we model the integer grid plus eighth steps
-	// for M, which is what the Wizard uses to hit targets like 310 MHz.
-	MultMin, MultMax     = 2.0, 64.0
-	DivMin, DivMax       = 1, 106
-	OutDivMin, OutDivMax = 1.0, 128.0
-	// MultStep is the fractional-divide granularity.
-	MultStep = 0.125
-	// MaxPFD is the maximum phase-frequency-detector input (Fin/D).
-	MaxPFD sim.Hz = 550 * sim.MHz
-	// MinPFD is the minimum PFD input.
-	MinPFD sim.Hz = 10 * sim.MHz
-)
-
-// LockTime is the worst-case MMCM lock time after re-programming. Every
-// frequency change through the Wizard costs this much simulated time, which
-// is why the paper sets the frequency once per experiment rather than
-// per transfer.
-const LockTime = 100 * sim.Microsecond
+// Limits bound the MMCM parameter space the Clock Wizard searches: the VCO
+// operating range, the multiplier M (CLKFBOUT_MULT), divider D
+// (DIVCLK_DIVIDE), output divider O (CLKOUT_DIVIDE) and the
+// phase-frequency-detector input range. Real hardware allows fractional M
+// and O in MultStep increments on CLKOUT0. Which limits a given part and
+// speed grade has is calibration and lives in internal/platform.
+type Limits struct {
+	VCOMin, VCOMax       sim.Hz
+	MultMin, MultMax     float64
+	MultStep             float64
+	DivMin, DivMax       int
+	OutDivMin, OutDivMax float64
+	MaxPFD, MinPFD       sim.Hz
+}
 
 // Settings is one feasible MMCM configuration.
 type Settings struct {
@@ -63,26 +51,26 @@ var ErrUnreachable = errors.New("clock: requested frequency unreachable by MMCM"
 // Solve finds the MMCM settings whose output is closest to target given
 // input fin. It returns ErrUnreachable when the best achievable error
 // exceeds 0.5%.
-func Solve(fin, target sim.Hz) (Settings, error) {
+func (l Limits) Solve(fin, target sim.Hz) (Settings, error) {
 	if target <= 0 || fin <= 0 {
 		return Settings{}, fmt.Errorf("clock: non-positive frequency (fin=%v target=%v)", fin, target)
 	}
 	best := Settings{}
 	bestErr := math.Inf(1)
-	for d := DivMin; d <= DivMax; d++ {
+	for d := l.DivMin; d <= l.DivMax; d++ {
 		pfd := sim.Hz(float64(fin) / float64(d))
-		if pfd > MaxPFD || pfd < MinPFD {
+		if pfd > l.MaxPFD || pfd < l.MinPFD {
 			continue
 		}
-		for m := MultMin; m <= MultMax; m += MultStep {
+		for m := l.MultMin; m <= l.MultMax; m += l.MultStep {
 			vco := sim.Hz(float64(fin) * m / float64(d))
-			if vco < VCOMin || vco > VCOMax {
+			if vco < l.VCOMin || vco > l.VCOMax {
 				continue
 			}
 			// Ideal output divider, snapped to the grid.
 			ideal := float64(vco) / float64(target)
-			for _, o := range snapOutDiv(ideal) {
-				if o < OutDivMin || o > OutDivMax {
+			for _, o := range l.snapOutDiv(ideal) {
+				if o < l.OutDivMin || o > l.OutDivMax {
 					continue
 				}
 				out := float64(vco) / o
@@ -102,10 +90,21 @@ func Solve(fin, target sim.Hz) (Settings, error) {
 }
 
 // snapOutDiv returns candidate output dividers around the ideal value on the
-// 0.125 fractional grid (CLKOUT0 supports eighth steps).
-func snapOutDiv(ideal float64) []float64 {
-	lo := math.Floor(ideal*8) / 8
-	return []float64{lo, lo + MultStep}
+// fractional grid (CLKOUT0 supports MultStep steps).
+func (l Limits) snapOutDiv(ideal float64) []float64 {
+	steps := 1 / l.MultStep
+	lo := math.Floor(ideal*steps) / steps
+	return []float64{lo, lo + l.MultStep}
+}
+
+// WizardConfig parameterises a Clock Wizard instance: the reference input,
+// the MMCM limits of the part, and the worst-case lock time paid on every
+// re-programming (which is why the paper sets the frequency once per
+// experiment rather than per transfer).
+type WizardConfig struct {
+	Fin      sim.Hz
+	Limits   Limits
+	LockTime sim.Duration
 }
 
 // Wizard models the Xilinx Clock Wizard IP: an MMCM whose output divider is
@@ -113,7 +112,7 @@ func snapOutDiv(ideal float64) []float64 {
 // the MMCM lock period.
 type Wizard struct {
 	kernel *sim.Kernel
-	fin    sim.Hz
+	cfg    WizardConfig
 	out    *Domain
 
 	settings Settings
@@ -121,15 +120,15 @@ type Wizard struct {
 	relocks  int
 }
 
-// NewWizard creates a Clock Wizard fed by fin and driving the given output
-// domain at its current frequency (assumed already locked at construction,
-// as after FPGA configuration).
-func NewWizard(k *sim.Kernel, fin sim.Hz, out *Domain) (*Wizard, error) {
-	s, err := Solve(fin, out.Freq())
+// NewWizard creates a Clock Wizard with the given configuration driving the
+// output domain at its current frequency (assumed already locked at
+// construction, as after FPGA configuration).
+func NewWizard(k *sim.Kernel, cfg WizardConfig, out *Domain) (*Wizard, error) {
+	s, err := cfg.Limits.Solve(cfg.Fin, out.Freq())
 	if err != nil {
 		return nil, fmt.Errorf("clock: initial rate: %w", err)
 	}
-	return &Wizard{kernel: k, fin: fin, out: out, settings: s, locked: true}, nil
+	return &Wizard{kernel: k, cfg: cfg, out: out, settings: s, locked: true}, nil
 }
 
 // Output returns the driven domain.
@@ -149,14 +148,14 @@ func (w *Wizard) Relocks() int { return w.relocks }
 // updated at lock. It returns the achieved frequency immediately for
 // convenience (it is exact, not an estimate).
 func (w *Wizard) SetRate(target sim.Hz, done func(actual sim.Hz)) (sim.Hz, error) {
-	s, err := Solve(w.fin, target)
+	s, err := w.cfg.Limits.Solve(w.cfg.Fin, target)
 	if err != nil {
 		return 0, err
 	}
-	actual := s.Output(w.fin)
+	actual := s.Output(w.cfg.Fin)
 	w.locked = false
 	w.relocks++
-	w.kernel.Schedule(LockTime, func() {
+	w.kernel.Schedule(w.cfg.LockTime, func() {
 		w.settings = s
 		w.out.SetFreq(actual)
 		w.locked = true

@@ -6,6 +6,8 @@ import (
 	"sort"
 
 	"repro/internal/bitstream"
+	"repro/internal/dma"
+	"repro/internal/platform"
 )
 
 // Recommendation is the Optimizer's output: the operating point the paper's
@@ -146,19 +148,25 @@ func (g *RobustGuard) Load(rp string, bs *bitstream.Bitstream) (Recovery, error)
 // verified.
 func ok(r Result) bool { return r.IRQReceived && r.CRCValid }
 
-// ExpectedLatencyUS predicts the configuration latency for a bitstream at a
-// frequency from the calibrated analytic model (DESIGN.md §2); used for
-// documentation and sanity checks, not by the controller itself.
-func ExpectedLatencyUS(sizeBytes int, freqMHz float64) float64 {
+// ExpectedLatencyUSOn predicts the configuration latency for a bitstream at
+// a frequency on the given platform, from the calibrated analytic model
+// (DESIGN.md §2); used for documentation and sanity checks, not by the
+// controller itself.
+func ExpectedLatencyUSOn(prof *platform.Profile, sizeBytes int, freqMHz float64) float64 {
 	words := float64(sizeBytes-bitstream.HeaderBytes) / 4
 	streamUS := words / freqMHz // 4 bytes per cycle ⇒ words/f µs
-	// Memory side: one 128-byte burst per refresh-derated port slot plus a
-	// CDC handshake of ~1.1 cycles in the over-clocked domain.
-	bursts := math.Ceil(words / 32)
-	memUS := bursts * (0.15727 + 1.1/freqMHz)
+	// Memory side: one DMA burst per refresh-derated port slot plus the CDC
+	// handshake in the over-clocked domain.
+	bursts := math.Ceil(words * 4 / dma.BurstBytes)
+	memUS := bursts * (prof.AnalyticBurstUS() + prof.AXI.CDCSyncCycles/freqMHz)
 	if memUS > streamUS {
 		streamUS = memUS
 	}
-	const fixedUS = 3.3
-	return streamUS + fixedUS
+	return streamUS + prof.AnalyticFixedUS
+}
+
+// ExpectedLatencyUS is ExpectedLatencyUSOn for the default (ZedBoard)
+// platform.
+func ExpectedLatencyUS(sizeBytes int, freqMHz float64) float64 {
+	return ExpectedLatencyUSOn(platform.Default(), sizeBytes, freqMHz)
 }

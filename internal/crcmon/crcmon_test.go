@@ -7,8 +7,8 @@ import (
 	"repro/internal/clock"
 	"repro/internal/fabric"
 	"repro/internal/icap"
+	"repro/internal/platform"
 	"repro/internal/sim"
-	"repro/internal/timing"
 )
 
 type rig struct {
@@ -27,11 +27,11 @@ func newRig(t *testing.T, freq sim.Hz) *rig {
 	r := &rig{
 		kernel: sim.NewKernel(),
 		domain: clock.NewDomain("icap", freq),
-		dev:    fabric.Z7020(),
+		dev:    platform.Default().NewDevice(),
 		tempC:  40,
 	}
 	r.mem = fabric.NewMemory(r.dev)
-	tm := timing.DefaultModel()
+	tm := platform.Default().TimingModel()
 	r.port = icap.New(icap.Config{
 		Kernel: r.kernel,
 		Domain: r.domain,
@@ -40,7 +40,7 @@ func newRig(t *testing.T, freq sim.Hz) *rig {
 		TempC:  func() float64 { return r.tempC },
 		Seed:   2,
 	})
-	r.rp = fabric.StandardRPs(r.dev)[0]
+	r.rp = platform.Default().RPs(r.dev)[0]
 	r.mon = New(Config{
 		Kernel: r.kernel,
 		Port:   r.port,

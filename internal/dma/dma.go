@@ -67,6 +67,10 @@ type Config struct {
 	// Domain is the stream-side clock (the over-clocked one); the CDC
 	// handshake is paid in this domain.
 	Domain *clock.Domain
+	// CDCSyncCycles is the per-burst clock-domain-crossing handshake cost in
+	// cycles of the stream domain (a calibrated platform property; the
+	// ZedBoard's is 1.1). Must be positive.
+	CDCSyncCycles float64
 	// IRQGate reports whether the completion interrupt can reach the PS;
 	// nil means always. The platform wires it to the timing model so that
 	// control-path violations lose the interrupt (Table I's hang rows).
@@ -131,6 +135,9 @@ func New(cfg Config) *Engine {
 	if cfg.Kernel == nil || cfg.Bus == nil || cfg.DRAM == nil || cfg.Domain == nil {
 		panic("dma: missing dependency")
 	}
+	if cfg.CDCSyncCycles <= 0 {
+		panic("dma: non-positive CDC sync cycles")
+	}
 	gate := cfg.IRQGate
 	if gate == nil {
 		gate = func() bool { return true }
@@ -144,8 +151,9 @@ func New(cfg Config) *Engine {
 		fifo:   axi.NewStreamFIFO(FIFOBytes),
 		master: cfg.DRAM.RegisterMaster(),
 	}
-	e.cdcDelay = axi.CDCDelay(e.domain.Freq())
-	e.domain.OnChange(func(f sim.Hz) { e.cdcDelay = axi.CDCDelay(f) })
+	cdc := cfg.CDCSyncCycles
+	e.cdcDelay = axi.CDCDelay(cdc, e.domain.Freq())
+	e.domain.OnChange(func(f sim.Hz) { e.cdcDelay = axi.CDCDelay(cdc, f) })
 
 	// 2. The engine fetches its SG descriptor from DDR, then decodes it and
 	// issues the first burst.

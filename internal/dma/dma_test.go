@@ -9,6 +9,16 @@ import (
 	"repro/internal/sim"
 )
 
+// testDRAMParams mirrors the ZedBoard memory-path calibration (the canonical
+// copy lives in internal/platform, which this package cannot import).
+func testDRAMParams() dram.Params {
+	return dram.Params{
+		PortBytesPerSec: 824e6,
+		RefreshInterval: sim.FromMicroseconds(7.8),
+		RefreshStall:    97 * sim.Nanosecond,
+	}
+}
+
 // cycleSink consumes one 32-bit word per cycle of its clock domain, like the
 // ICAP, without any parsing.
 type cycleSink struct {
@@ -41,9 +51,11 @@ func newBench(freqMHz float64) *bench {
 	b := &bench{kernel: k, domain: d}
 	b.engine = New(Config{
 		Kernel: k,
-		Bus:    axi.NewLiteBus(k),
-		DRAM:   dram.NewController(k, dram.DefaultParams()),
+		Bus:    axi.NewLiteBus(k, 120*sim.Nanosecond, 120*sim.Nanosecond),
+		DRAM:   dram.NewController(k, testDRAMParams()),
 		Domain: d,
+
+		CDCSyncCycles: 1.1,
 	})
 	b.sink = &cycleSink{kernel: k, domain: d}
 	return b
@@ -167,11 +179,13 @@ func TestIRQGateSuppressesCallback(t *testing.T) {
 	d := clock.NewDomain("stream", 310*sim.MHz)
 	gateOpen := false
 	e := New(Config{
-		Kernel:  k,
-		Bus:     axi.NewLiteBus(k),
-		DRAM:    dram.NewController(k, dram.DefaultParams()),
-		Domain:  d,
-		IRQGate: func() bool { return gateOpen },
+		Kernel: k,
+		Bus:    axi.NewLiteBus(k, 120*sim.Nanosecond, 120*sim.Nanosecond),
+		DRAM:   dram.NewController(k, testDRAMParams()),
+		Domain: d,
+
+		CDCSyncCycles: 1.1,
+		IRQGate:       func() bool { return gateOpen },
 	})
 	sink := &cycleSink{kernel: k, domain: d}
 	called := false

@@ -24,16 +24,9 @@ type Params struct {
 	RefreshStall sim.Duration
 }
 
-// DefaultParams returns the ZedBoard-calibrated path parameters: together
-// they sustain ≈813 MB/s, which with the CDC handshake reproduces the
-// 786–790 MB/s plateau of Table I.
-func DefaultParams() Params {
-	return Params{
-		PortBytesPerSec: 824e6,
-		RefreshInterval: sim.FromMicroseconds(7.8),
-		RefreshStall:    97 * sim.Nanosecond,
-	}
-}
+// The calibrated parameters for each board live in internal/platform (the
+// ZedBoard's 824 MB/s port with DDR3 refresh sustains ≈813 MB/s, which with
+// the CDC handshake reproduces the 786–790 MB/s plateau of Table I).
 
 // Request is one queued burst.
 type request struct {

@@ -7,6 +7,16 @@ import (
 	"repro/internal/sim"
 )
 
+// testParams mirrors the ZedBoard calibration (the canonical copy lives in
+// internal/platform, which this package cannot import).
+func testParams() Params {
+	return Params{
+		PortBytesPerSec: 824e6,
+		RefreshInterval: sim.FromMicroseconds(7.8),
+		RefreshStall:    97 * sim.Nanosecond,
+	}
+}
+
 func TestSingleBurstTiming(t *testing.T) {
 	k := sim.NewKernel()
 	c := NewController(k, Params{PortBytesPerSec: 800e6}) // no refresh
@@ -39,7 +49,7 @@ func TestBackToBackBurstsSerialize(t *testing.T) {
 
 func TestRefreshStealsBandwidth(t *testing.T) {
 	k := sim.NewKernel()
-	p := DefaultParams()
+	p := testParams()
 	c := NewController(k, p)
 	m := c.RegisterMaster()
 	// Saturate the port for a while and measure the achieved rate.
@@ -76,7 +86,7 @@ func TestEffectiveRateCloseTo810(t *testing.T) {
 	// The calibration target: the memory path sustains ≈813 MB/s before the
 	// CDC handshake, yielding the paper's 786–790 MB/s plateau.
 	k := sim.NewKernel()
-	c := NewController(k, DefaultParams())
+	c := NewController(k, testParams())
 	got := c.EffectiveRate() / 1e6
 	if got < 810 || got > 817 {
 		t.Errorf("EffectiveRate = %.1f MB/s, want ≈813", got)

@@ -9,7 +9,7 @@ import (
 
 func TestTrafficHitsTargetRate(t *testing.T) {
 	k := sim.NewKernel()
-	c := NewController(k, DefaultParams())
+	c := NewController(k, testParams())
 	g := NewTraffic(k, c, 200) // 200 MB/s, well under the port
 	g.Start()
 	k.RunFor(10 * sim.Millisecond)
@@ -22,7 +22,7 @@ func TestTrafficHitsTargetRate(t *testing.T) {
 
 func TestTrafficBacksOffAtSaturation(t *testing.T) {
 	k := sim.NewKernel()
-	c := NewController(k, DefaultParams())
+	c := NewController(k, testParams())
 	g := NewTraffic(k, c, 5000) // impossible target
 	g.Start()
 	k.RunFor(10 * sim.Millisecond)
@@ -39,7 +39,7 @@ func TestTrafficBacksOffAtSaturation(t *testing.T) {
 
 func TestTrafficStopHalts(t *testing.T) {
 	k := sim.NewKernel()
-	c := NewController(k, DefaultParams())
+	c := NewController(k, testParams())
 	g := NewTraffic(k, c, 100)
 	g.Start()
 	k.RunFor(sim.Millisecond)
@@ -56,7 +56,7 @@ func TestTrafficStopHalts(t *testing.T) {
 
 func TestTrafficZeroRateNoop(t *testing.T) {
 	k := sim.NewKernel()
-	c := NewController(k, DefaultParams())
+	c := NewController(k, testParams())
 	g := NewTraffic(k, c, 0)
 	g.Start()
 	k.RunFor(sim.Millisecond)
@@ -70,7 +70,7 @@ func TestTrafficStealsFromOtherMaster(t *testing.T) {
 	// lowers the bandwidth another master can sustain.
 	measure := func(background float64) float64 {
 		k := sim.NewKernel()
-		c := NewController(k, DefaultParams())
+		c := NewController(k, testParams())
 		victim := NewTraffic(k, c, 1e9) // greedy: takes whatever it can
 		if background > 0 {
 			bg := NewTraffic(k, c, background)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/dram"
-	"repro/internal/fabric"
 	"repro/internal/scrub"
 	"repro/internal/sim"
 )
@@ -109,7 +108,7 @@ func AblationScrub(env *Env) (*Report, error) {
 		return nil, err
 	}
 	rep.Rows = append(rep.Rows, []string{
-		"full reload", "any", fmt.Sprintf("%d", fabric.Z7020().RegionFrames(rp)),
+		"full reload", "any", fmt.Sprintf("%d", p.Device.RegionFrames(rp)),
 		f2(res.LatencyUS), fmt.Sprintf("%v", res.CRCValid),
 	})
 	rep.Notes = append(rep.Notes,

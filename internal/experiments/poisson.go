@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"strconv"
 
-	"repro/internal/fabric"
 	"repro/internal/hll"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -29,13 +28,13 @@ var poissonASPs = []string{"fir128", "sha3", "aes-gcm", "fft1k"}
 
 func poissonShards(Config) int { return poissonSegments }
 
-func poissonTraceFor(cfg Config) workload.Trace {
-	var rps []string
-	for _, rp := range fabric.StandardRPs(fabric.Z7020()) {
-		rps = append(rps, rp.Name)
+func poissonTraceFor(cfg Config) (workload.Trace, error) {
+	prof, err := ProfileFor(cfg)
+	if err != nil {
+		return nil, err
 	}
 	return workload.PoissonTrace(cfg.Seed^0x9E37, poissonRequests,
-		sim.FromMicroseconds(poissonMeanGapUS), rps, poissonASPs)
+		sim.FromMicroseconds(poissonMeanGapUS), prof.RPNames(), poissonASPs), nil
 }
 
 var poissonHeader = []string{"segment", "requests", "hits", "reconfigs", "failures", "reconfig [us]", "makespan [us]", "PDR overhead"}
@@ -57,7 +56,10 @@ func poissonShard(ctx context.Context, env *Env, shard int) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	tr := poissonTraceFor(env.Cfg)
+	tr, err := poissonTraceFor(env.Cfg)
+	if err != nil {
+		return nil, err
+	}
 	lo, hi := segBounds(len(tr), poissonSegments, shard)
 	seg := make(workload.Trace, hi-lo)
 	base := tr[lo].At

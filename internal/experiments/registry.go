@@ -22,6 +22,10 @@ type Scenario struct {
 	// The plan never depends on worker count — that is what makes
 	// parallel output bit-identical to sequential.
 	Shards func(cfg Config) int
+	// ShardConfig optionally rewrites the campaign configuration for one
+	// shard before its Env is built (E10 selects a different platform per
+	// shard). nil means every shard runs the campaign configuration.
+	ShardConfig func(cfg Config, shard int) Config
 	// Run executes one shard on a fresh Env and returns its (partial)
 	// report. Single-shard scenarios ignore the shard index. Run must
 	// honour ctx between measurement points.
@@ -95,7 +99,7 @@ func RunSequential(ctx context.Context, s Scenario, cfg Config) (*Report, error)
 	n := s.Shards(cfg)
 	parts := make([]*Report, n)
 	for k := 0; k < n; k++ {
-		env, err := NewEnvWith(cfg)
+		env, err := NewEnvWith(s.EnvConfig(cfg, k))
 		if err != nil {
 			return nil, err
 		}
@@ -107,6 +111,16 @@ func RunSequential(ctx context.Context, s Scenario, cfg Config) (*Report, error)
 		return parts[0], nil
 	}
 	return s.Merge(cfg, parts)
+}
+
+// EnvConfig returns the configuration a given shard's Env must be built
+// from: the campaign configuration, rewritten by ShardConfig when the
+// scenario declares one.
+func (s Scenario) EnvConfig(cfg Config, shard int) Config {
+	if s.ShardConfig == nil {
+		return cfg
+	}
+	return s.ShardConfig(cfg, shard)
 }
 
 // single adapts a legacy whole-artefact runner to the shard interface.
@@ -194,6 +208,15 @@ func init() {
 		Shards:  poissonShards,
 		Run:     poissonShard,
 		Merge:   poissonMerge,
+	})
+	Register(Scenario{
+		ID:          "E10",
+		Title:       xplatTitle,
+		Aliases:     []string{"xplat"},
+		Shards:      xplatShards,
+		ShardConfig: xplatShardConfig,
+		Run:         xplatShard,
+		Merge:       xplatMerge,
 	})
 	Register(Scenario{
 		ID:      "A1",

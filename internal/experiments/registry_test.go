@@ -10,7 +10,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "A1", "A2", "A3", "A4", "A5"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "A1", "A2", "A3", "A4", "A5"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d scenarios, want %d: %v", len(got), len(want), got)
@@ -38,7 +38,7 @@ func TestLookupByIDAndAlias(t *testing.T) {
 
 func TestShardPlanFixed(t *testing.T) {
 	cfg := Config{Seed: 42}
-	plans := map[string]int{"E1": 1, "E2": 3, "E3": 7, "E4": 4, "E9": 4, "A5": 1}
+	plans := map[string]int{"E1": 1, "E2": 3, "E3": 7, "E4": 4, "E9": 4, "E10": 3, "A5": 1}
 	for id, want := range plans {
 		s, ok := Lookup(id)
 		if !ok {

@@ -133,7 +133,7 @@ func SecVI(env *Env) (*Report, error) {
 		Kernel: p.Kernel,
 		Device: p.Device,
 		Memory: p.Memory,
-		DDR:    dram.NewController(p.Kernel, dram.DefaultParams()),
+		DDR:    dram.NewController(p.Kernel, p.Profile.DRAM),
 		TempC:  func() float64 { return p.Die.TempC() },
 		Seed:   7,
 	})

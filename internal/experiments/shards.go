@@ -24,6 +24,18 @@ const (
 	fig5SegmentGoal = 3
 )
 
+// kneeMHz returns the frequency of the first throughput point falling below
+// 98% of the stream-side 4·f line (0 when the curve never leaves it) — the
+// knee-detection rule shared by E2 and E10.
+func kneeMHz(points []sim.Point) float64 {
+	for _, pt := range points {
+		if pt.Y < 4*pt.X*0.98 {
+			return pt.X
+		}
+	}
+	return 0
+}
+
 func fig5Grid(cfg Config) []float64 {
 	if len(cfg.Freqs) > 0 {
 		return cfg.Freqs
@@ -93,13 +105,7 @@ func fig5Merge(cfg Config, parts []*Report) (*Report, error) {
 		rep.Rows = append(rep.Rows, p.Rows...)
 		series.Points = append(series.Points, p.Series[0].Points...)
 	}
-	// Knee detection: first point achieving <98% of the 4f line.
-	knee := 0.0
-	for _, pt := range series.Points {
-		if knee == 0 && pt.Y < 4*pt.X*0.98 {
-			knee = pt.X
-		}
-	}
+	knee := kneeMHz(series.Points)
 	rep.Series = append(rep.Series, series)
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("curve linear until ≈%.0f MHz, then flattens (paper: ≈200 MHz)", knee),

@@ -79,18 +79,36 @@ type Device struct {
 	addrOf []FrameAddr
 }
 
-// Z7020 returns the Zynq-7020-class device used by the paper's ZedBoard.
-// The layout is 3 rows of 80 columns: an IOB column at each edge and six
-// 13-column tiles of 9 CLB + 2 BRAM + 2 DSP columns in between — 2700 frames
-// per row, 8100 frames ≈ 3.3 MB of configuration data, the right scale for
-// the part (real full bitstream ≈ 4 MB). The tile pitch is chosen so a
-// 39-column reconfigurable partition holds exactly 1308 frames, which is
-// what Table I's 528,760-byte partial bitstream implies (DESIGN.md §2).
-func Z7020() *Device {
-	cols := make([]ColumnKind, 0, 80)
+// Geometry parameterises a 7-series-style device: clock-region rows, each
+// holding Tiles repetitions of the standard 13-column tile (9 CLB + 2 BRAM +
+// 2 DSP) between an IOB column at each edge. Which part has how many rows
+// and tiles is calibration and lives in internal/platform; this package only
+// knows how to build the frame plane from a geometry.
+type Geometry struct {
+	// Name is the part name, e.g. "xc7z020".
+	Name string
+	// IDCode is the JTAG/configuration ID checked by the bitstream loader.
+	IDCode uint32
+	// Rows is the number of clock-region rows.
+	Rows int
+	// Tiles is the number of 13-column CLB/BRAM/DSP tiles per row.
+	Tiles int
+}
+
+// TileColumns is the width of one standard CLB/BRAM/DSP tile.
+const TileColumns = 13
+
+// NewDevice builds a device from its geometry. Within each tile, columns
+// 3 and 9 are BRAM, 6 and 12 are DSP, the rest CLB — one tile is
+// 9·36 + 2·28 + 2·28 = 436 frames.
+func NewDevice(g Geometry) *Device {
+	if g.Rows < 1 || g.Tiles < 1 {
+		panic(fmt.Sprintf("fabric: degenerate geometry %+v", g))
+	}
+	cols := make([]ColumnKind, 0, g.Tiles*TileColumns+2)
 	cols = append(cols, IOB)
-	for i := 0; i < 78; i++ {
-		switch i % 13 {
+	for i := 0; i < g.Tiles*TileColumns; i++ {
+		switch i % TileColumns {
 		case 3, 9:
 			cols = append(cols, BRAM)
 		case 6, 12:
@@ -101,9 +119,9 @@ func Z7020() *Device {
 	}
 	cols = append(cols, IOB)
 	d := &Device{
-		Name:    "xc7z020",
-		IDCode:  0x03727093, // real 7z020 IDCODE
-		Rows:    3,
+		Name:    g.Name,
+		IDCode:  g.IDCode,
+		Rows:    g.Rows,
 		Columns: cols,
 	}
 	d.index()
@@ -240,16 +258,27 @@ func (d *Device) Contains(r Region, a FrameAddr) bool {
 	return a.Row == r.Row && a.Column >= r.ColStart && a.Column < r.ColEnd
 }
 
-// StandardRPs returns the four reconfigurable partitions of the paper's
-// acceleration framework (Fig. 1, RP 1–4). Each spans 39 columns — 27 CLB,
-// 6 BRAM and 6 DSP — for exactly 1308 frames, which together with the
-// command overhead makes the 528,760-byte partial bitstream implied by
+// TiledRPs returns the standard reconfigurable-partition plan for a tiled
+// device: one RP of rpTiles tiles at the left edge of every clock-region
+// row, then further RPs packed left-to-right along row 0 while whole spans
+// still fit before the right IOB column. Partitions are named RP1, RP2, …
+// in that order. On the paper's ZedBoard geometry (3 rows × 6 tiles,
+// rpTiles = 3) this yields the four RPs of Fig. 1, each spanning 39 columns
+// — 27 CLB, 6 BRAM and 6 DSP — for exactly 1308 frames, which together with
+// the command overhead makes the 528,760-byte partial bitstream implied by
 // Table I (see DESIGN.md §2). Tests assert the frame count.
-func StandardRPs(d *Device) []Region {
-	return []Region{
-		{Name: "RP1", Row: 0, ColStart: 1, ColEnd: 40},
-		{Name: "RP2", Row: 1, ColStart: 1, ColEnd: 40},
-		{Name: "RP3", Row: 2, ColStart: 1, ColEnd: 40},
-		{Name: "RP4", Row: 0, ColStart: 40, ColEnd: 79},
+func TiledRPs(d *Device, rpTiles int) []Region {
+	width := rpTiles * TileColumns
+	if rpTiles < 1 || width > len(d.Columns)-2 {
+		panic(fmt.Sprintf("fabric: RP span of %d tiles does not fit device %s", rpTiles, d.Name))
 	}
+	var rps []Region
+	name := func() string { return fmt.Sprintf("RP%d", len(rps)+1) }
+	for row := 0; row < d.Rows; row++ {
+		rps = append(rps, Region{Name: name(), Row: row, ColStart: 1, ColEnd: 1 + width})
+	}
+	for start := 1 + width; start+width <= len(d.Columns)-1; start += width {
+		rps = append(rps, Region{Name: name(), Row: 0, ColStart: start, ColEnd: start + width})
+	}
+	return rps
 }

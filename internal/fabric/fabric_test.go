@@ -5,8 +5,14 @@ import (
 	"testing/quick"
 )
 
+// z7020 rebuilds the paper's ZedBoard geometry (the calibrated spec lives in
+// internal/platform; these tests only need a representative tiled device).
+func z7020() *Device {
+	return NewDevice(Geometry{Name: "xc7z020", IDCode: 0x03727093, Rows: 3, Tiles: 6})
+}
+
 func TestZ7020Geometry(t *testing.T) {
-	d := Z7020()
+	d := z7020()
 	if len(d.Columns) != 80 {
 		t.Fatalf("columns = %d, want 80", len(d.Columns))
 	}
@@ -41,8 +47,8 @@ func TestColumnKindMinors(t *testing.T) {
 func TestStandardRPsAre1308Frames(t *testing.T) {
 	// The RP size is load-bearing: 1308 frames ⇒ the 528,760-byte partial
 	// bitstream implied by Table I.
-	d := Z7020()
-	rps := StandardRPs(d)
+	d := z7020()
+	rps := TiledRPs(d, 3)
 	if len(rps) != 4 {
 		t.Fatalf("want 4 RPs, got %d", len(rps))
 	}
@@ -72,7 +78,7 @@ func TestFARRoundTrip(t *testing.T) {
 }
 
 func TestLinearAddrRoundTripProperty(t *testing.T) {
-	d := Z7020()
+	d := z7020()
 	prop := func(raw uint16) bool {
 		lin := int(raw) % d.TotalFrames()
 		a, err := d.Addr(lin)
@@ -88,7 +94,7 @@ func TestLinearAddrRoundTripProperty(t *testing.T) {
 }
 
 func TestLinearRejectsOutOfRange(t *testing.T) {
-	d := Z7020()
+	d := z7020()
 	bad := []FrameAddr{
 		{Row: 3, Column: 0, Minor: 0},
 		{Row: 0, Column: 80, Minor: 0},
@@ -109,7 +115,7 @@ func TestLinearRejectsOutOfRange(t *testing.T) {
 }
 
 func TestNextWalksWholeDevice(t *testing.T) {
-	d := Z7020()
+	d := z7020()
 	a := FrameAddr{}
 	for i := 0; i < d.TotalFrames()-1; i++ {
 		next, err := d.Next(a)
@@ -129,8 +135,8 @@ func TestNextWalksWholeDevice(t *testing.T) {
 }
 
 func TestRegionContains(t *testing.T) {
-	d := Z7020()
-	rp := StandardRPs(d)[0]
+	d := z7020()
+	rp := TiledRPs(d, 3)[0]
 	if !d.Contains(rp, FrameAddr{Row: 0, Column: 1, Minor: 0}) {
 		t.Error("start frame should be contained")
 	}
@@ -143,7 +149,7 @@ func TestRegionContains(t *testing.T) {
 }
 
 func TestMemoryWriteReadFrame(t *testing.T) {
-	d := Z7020()
+	d := z7020()
 	m := NewMemory(d)
 	a := FrameAddr{Row: 1, Column: 10, Minor: 3}
 	frame := make([]uint32, FrameWords)
@@ -168,7 +174,7 @@ func TestMemoryWriteReadFrame(t *testing.T) {
 }
 
 func TestMemoryRejectsBadFrame(t *testing.T) {
-	d := Z7020()
+	d := z7020()
 	m := NewMemory(d)
 	if err := m.WriteFrame(FrameAddr{}, make([]uint32, 50)); err == nil {
 		t.Error("short frame should fail")
@@ -182,9 +188,9 @@ func TestMemoryRejectsBadFrame(t *testing.T) {
 }
 
 func TestMemoryRegionEqual(t *testing.T) {
-	d := Z7020()
+	d := z7020()
 	m := NewMemory(d)
-	rp := StandardRPs(d)[1]
+	rp := TiledRPs(d, 3)[1]
 	n := d.RegionFrames(rp)
 	frames := make([][]uint32, n)
 	addr := rp.RegionStart()
@@ -221,9 +227,9 @@ func TestMemoryRegionEqual(t *testing.T) {
 }
 
 func TestRegionFrameIndicesContiguous(t *testing.T) {
-	d := Z7020()
+	d := z7020()
 	m := NewMemory(d)
-	for _, rp := range StandardRPs(d) {
+	for _, rp := range TiledRPs(d, 3) {
 		idx, err := m.RegionFrameIndices(rp)
 		if err != nil {
 			t.Fatalf("%s: %v", rp.Name, err)
@@ -240,7 +246,7 @@ func TestRegionFrameIndicesContiguous(t *testing.T) {
 }
 
 func TestValidateRejectsBadRegions(t *testing.T) {
-	d := Z7020()
+	d := z7020()
 	bad := []Region{
 		{Name: "r", Row: 5, ColStart: 0, ColEnd: 1},
 		{Name: "r", Row: 0, ColStart: 5, ColEnd: 5},
@@ -251,5 +257,29 @@ func TestValidateRejectsBadRegions(t *testing.T) {
 		if err := d.Validate(r); err == nil {
 			t.Errorf("Validate(%+v) should fail", r)
 		}
+	}
+}
+
+func TestTiledRPsScaleWithGeometry(t *testing.T) {
+	// A narrower part (2 rows × 4 tiles, 2-tile RPs) must yield one RP per
+	// row plus one packed extra on row 0, each 2·436 = 872 frames.
+	d := NewDevice(Geometry{Name: "xc7z010", IDCode: 0x03722093, Rows: 2, Tiles: 4})
+	rps := TiledRPs(d, 2)
+	if len(rps) != 3 {
+		t.Fatalf("want 3 RPs, got %d", len(rps))
+	}
+	for i, rp := range rps {
+		if want := "RP" + string(rune('1'+i)); rp.Name != want {
+			t.Errorf("rp[%d].Name = %q, want %q", i, rp.Name, want)
+		}
+		if err := d.Validate(rp); err != nil {
+			t.Errorf("%s: %v", rp.Name, err)
+		}
+		if got := d.RegionFrames(rp); got != 872 {
+			t.Errorf("%s frames = %d, want 872", rp.Name, got)
+		}
+	}
+	if rps[2].Row != 0 || rps[2].ColStart != 1+2*TileColumns {
+		t.Errorf("extra RP misplaced: %+v", rps[2])
 	}
 }

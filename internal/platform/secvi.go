@@ -1,0 +1,40 @@
+package platform
+
+import (
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+// SRAMParams describe the Sec.-VI QDR-II+ SRAM part (Cypress
+// CY7C2263KV18-class: 36-bit DDR read and write ports at 550 MHz).
+type SRAMParams struct {
+	ReadBytesPerSec  float64
+	WriteBytesPerSec float64
+	CapacityBytes    int
+}
+
+// SecVISRAM returns the proposed pipeline's SRAM calibration: the paper's
+// theoretical 550 MHz · 36 bit / 2 = 1237.5 MB/s on both ports, 72 Mbit.
+func SecVISRAM() SRAMParams {
+	return SRAMParams{
+		ReadBytesPerSec:  1237.5e6,
+		WriteBytesPerSec: 1237.5e6,
+		CapacityBytes:    9 * 1024 * 1024,
+	}
+}
+
+// SecVIHMTiming returns the enhanced-hard-macro ICAP timing budget of the
+// proposed Sec.-VI environment: the custom interface closes timing at
+// 550 MHz (HKT-2011 demonstrated 550 MHz on an older family), with headroom
+// before failure.
+func SecVIHMTiming() timing.Model {
+	return timing.Model{
+		Control:    timing.Path{Delay40: sim.FromNanoseconds(1e3 / 580.0), TempCoeff: 2.8e-4, VoltCoeff: 0.45},
+		Data:       timing.Path{Delay40: sim.FromNanoseconds(1e3 / 620.0), TempCoeff: 2.8e-4, VoltCoeff: 0.45},
+		FreezeFreq: 800 * sim.MHz,
+		VNom:       1.0,
+	}
+}
+
+// SecVIICAPClockMHz is the hard-macro ICAP's dedicated clock.
+const SecVIICAPClockMHz = 550

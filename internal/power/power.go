@@ -37,19 +37,13 @@ type Params struct {
 	// insofar as the paper folds it into P0; we keep it separate for the
 	// thermal coupling.
 	PSActive float64
+	// MeterResolutionW is the effective resolution of the board's
+	// current-sense measurement chain (the ZedBoard's bench meter resolves
+	// 10 mW). Zero means an ideal meter.
+	MeterResolutionW float64
 }
 
-// DefaultParams returns the coefficients calibrated to Table II / Fig. 6.
-func DefaultParams() Params {
-	return Params{
-		DynPerMHz:       (1.44 - 1.14) / (280 - 100),
-		StaticAt40:      1.14 - 100*(1.44-1.14)/(280-100),
-		StaticTempCoeff: 0.0067,
-		VNom:            1.0,
-		BoardBaseline:   2.2,
-		PSActive:        1.53,
-	}
-}
+// The coefficients calibrated to Table II / Fig. 6 live in internal/platform.
 
 // Model computes instantaneous powers from live frequency/temperature/state
 // providers, so the thermal model and the meter always see consistent values.
@@ -146,9 +140,10 @@ type Meter struct {
 	lastPower   float64
 }
 
-// NewMeter attaches a meter to the model and starts integrating energy.
+// NewMeter attaches a meter to the model and starts integrating energy. The
+// reading resolution comes from the model's MeterResolutionW parameter.
 func NewMeter(k *sim.Kernel, m *Model, samplePeriod sim.Duration) *Meter {
-	mt := &Meter{kernel: k, model: m, resolutionW: 0.01, lastSample: k.Now(), lastPower: m.Board()}
+	mt := &Meter{kernel: k, model: m, resolutionW: m.params.MeterResolutionW, lastSample: k.Now(), lastPower: m.Board()}
 	k.NewTicker(samplePeriod, mt.sample)
 	return mt
 }
@@ -161,15 +156,23 @@ func (mt *Meter) sample() {
 	mt.lastPower = mt.model.Board()
 }
 
+// quantize applies the meter resolution (0 ⇒ ideal meter).
+func (mt *Meter) quantize(v float64) float64 {
+	if mt.resolutionW <= 0 {
+		return v
+	}
+	return math.Round(v/mt.resolutionW) * mt.resolutionW
+}
+
 // ReadBoard returns the board power quantized to the meter resolution.
 func (mt *Meter) ReadBoard() float64 {
-	return math.Round(mt.model.Board()/mt.resolutionW) * mt.resolutionW
+	return mt.quantize(mt.model.Board())
 }
 
 // ReadPDR returns the baseline-subtracted reading, i.e. the paper's
 // P_PDR = P_f^T − P0, quantized like the bench measurement.
 func (mt *Meter) ReadPDR() float64 {
-	return math.Round((mt.model.Board()-mt.model.params.BoardBaseline)/mt.resolutionW) * mt.resolutionW
+	return mt.quantize(mt.model.Board() - mt.model.params.BoardBaseline)
 }
 
 // EnergyJ returns the energy integrated so far (board-level joules).

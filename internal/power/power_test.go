@@ -8,9 +8,23 @@ import (
 	"repro/internal/sim"
 )
 
+// testParams mirrors the ZedBoard calibration (the canonical copy lives in
+// internal/platform, which this package cannot import).
+func testParams() Params {
+	return Params{
+		DynPerMHz:        (1.44 - 1.14) / (280 - 100),
+		StaticAt40:       1.14 - 100*(1.44-1.14)/(280-100),
+		StaticTempCoeff:  0.0067,
+		VNom:             1.0,
+		BoardBaseline:    2.2,
+		PSActive:         1.53,
+		MeterResolutionW: 0.01,
+	}
+}
+
 func TestTableIIPowerValues(t *testing.T) {
 	// Table II: P_PDR at 40 °C for the six operational frequencies.
-	m := NewModel(DefaultParams())
+	m := NewModel(testParams())
 	tests := []struct {
 		freqMHz float64
 		wantW   float64
@@ -32,7 +46,7 @@ func TestTableIIPowerValues(t *testing.T) {
 
 func TestDynamicSlopeIndependentOfTemperature(t *testing.T) {
 	// Fig. 6's observation: the P(f) slope is the same at every temperature.
-	m := NewModel(DefaultParams())
+	m := NewModel(testParams())
 	slopeAt := func(tempC float64) float64 {
 		return (m.PDRAt(280, tempC) - m.PDRAt(100, tempC)) / 180
 	}
@@ -47,7 +61,7 @@ func TestDynamicSlopeIndependentOfTemperature(t *testing.T) {
 func TestStaticPowerSuperLinearInTemperature(t *testing.T) {
 	// Fig. 6's other observation: static power grows more than linearly
 	// with temperature: the increment per 20 °C must itself grow.
-	m := NewModel(DefaultParams())
+	m := NewModel(testParams())
 	d1 := m.PDRAt(100, 60) - m.PDRAt(100, 40)
 	d2 := m.PDRAt(100, 80) - m.PDRAt(100, 60)
 	d3 := m.PDRAt(100, 100) - m.PDRAt(100, 80)
@@ -81,7 +95,7 @@ func TestPerformancePerWattTableII(t *testing.T) {
 
 func TestMostEfficientPointIs200MHz(t *testing.T) {
 	// The headline result: PpW peaks at the 200 MHz knee.
-	m := NewModel(DefaultParams())
+	m := NewModel(testParams())
 	paperThroughput := map[float64]float64{
 		100: 399.06, 140: 558.12, 180: 716.96, 200: 781.84, 240: 786.96, 280: 790.14,
 	}
@@ -101,7 +115,7 @@ func TestMostEfficientPointIs200MHz(t *testing.T) {
 }
 
 func TestModelLiveProviders(t *testing.T) {
-	m := NewModel(DefaultParams())
+	m := NewModel(testParams())
 	freq := 200.0
 	temp := 40.0
 	active := true
@@ -126,7 +140,7 @@ func TestModelLiveProviders(t *testing.T) {
 }
 
 func TestVoltageScalingQuadratic(t *testing.T) {
-	m := NewModel(DefaultParams())
+	m := NewModel(testParams())
 	m.FreqMHz = func() float64 { return 200 }
 	v := 1.0
 	m.Vdd = func() float64 { return v }
@@ -140,7 +154,7 @@ func TestVoltageScalingQuadratic(t *testing.T) {
 
 func TestMeterQuantizationAndSubtraction(t *testing.T) {
 	k := sim.NewKernel()
-	m := NewModel(DefaultParams())
+	m := NewModel(testParams())
 	m.FreqMHz = func() float64 { return 200 }
 	m.TempC = func() float64 { return 40 }
 	mt := NewMeter(k, m, sim.Millisecond)
@@ -160,7 +174,7 @@ func TestMeterQuantizationAndSubtraction(t *testing.T) {
 
 func TestMeterEnergyIntegration(t *testing.T) {
 	k := sim.NewKernel()
-	m := NewModel(DefaultParams())
+	m := NewModel(testParams())
 	m.FreqMHz = func() float64 { return 100 }
 	m.TempC = func() float64 { return 40 }
 	mt := NewMeter(k, m, sim.Millisecond)
@@ -172,7 +186,7 @@ func TestMeterEnergyIntegration(t *testing.T) {
 }
 
 func TestPDRMonotoneProperties(t *testing.T) {
-	m := NewModel(DefaultParams())
+	m := NewModel(testParams())
 	// P_PDR is monotone increasing in f at fixed T and in T at fixed f.
 	propF := func(a, b uint16, traw uint8) bool {
 		f1, f2 := float64(100+a%300), float64(100+b%300)

@@ -6,8 +6,8 @@ import (
 	"repro/internal/clock"
 	"repro/internal/fabric"
 	"repro/internal/icap"
+	"repro/internal/platform"
 	"repro/internal/sim"
-	"repro/internal/timing"
 )
 
 type rig struct {
@@ -21,16 +21,16 @@ type rig struct {
 
 func newRig(t *testing.T) *rig {
 	t.Helper()
-	r := &rig{kernel: sim.NewKernel(), dev: fabric.Z7020()}
+	r := &rig{kernel: sim.NewKernel(), dev: platform.Default().NewDevice()}
 	r.mem = fabric.NewMemory(r.dev)
 	r.port = icap.New(icap.Config{
 		Kernel: r.kernel,
 		Domain: clock.NewDomain("icap", 200*sim.MHz),
 		Memory: r.mem,
-		Timing: timing.DefaultModel(),
+		Timing: platform.Default().TimingModel(),
 		Seed:   3,
 	})
-	r.rp = fabric.StandardRPs(r.dev)[0]
+	r.rp = platform.Default().RPs(r.dev)[0]
 
 	// Configure the region directly with a golden image.
 	rng := sim.NewRNG(77)

@@ -23,6 +23,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/fabric"
 	"repro/internal/icap"
+	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/timing"
 )
@@ -42,12 +43,14 @@ type SRAM struct {
 	residentSize int
 }
 
-// NewSRAM returns the CY7C2263KV18-class part.
+// NewSRAM returns the CY7C2263KV18-class part (rates and capacity come from
+// the Sec.-VI calibration in internal/platform).
 func NewSRAM() *SRAM {
+	p := platform.SecVISRAM()
 	return &SRAM{
-		ReadBytesPerSec:  1237.5e6,
-		WriteBytesPerSec: 1237.5e6,
-		CapacityBytes:    9 * 1024 * 1024,
+		ReadBytesPerSec:  p.ReadBytesPerSec,
+		WriteBytesPerSec: p.WriteBytesPerSec,
+		CapacityBytes:    p.CapacityBytes,
 	}
 }
 
@@ -103,16 +106,11 @@ type Config struct {
 	Seed  uint64
 }
 
-// hmTimingModel returns the enhanced-hard-macro timing budget: the custom
-// ICAP interface closes timing at 550 MHz (HKT-2011 demonstrated 550 MHz on
-// an older family), with headroom before failure.
+// hmTimingModel returns the enhanced-hard-macro timing budget from the
+// Sec.-VI calibration in internal/platform.
 func hmTimingModel() *timing.Model {
-	return &timing.Model{
-		Control:    timing.Path{Delay40: sim.FromNanoseconds(1e3 / 580.0), TempCoeff: 2.8e-4, VoltCoeff: 0.45},
-		Data:       timing.Path{Delay40: sim.FromNanoseconds(1e3 / 620.0), TempCoeff: 2.8e-4, VoltCoeff: 0.45},
-		FreezeFreq: 800 * sim.MHz,
-		VNom:       1.0,
-	}
+	m := platform.SecVIHMTiming()
+	return &m
 }
 
 // New assembles the system.
@@ -120,7 +118,7 @@ func New(cfg Config) (*System, error) {
 	if cfg.Kernel == nil || cfg.Device == nil || cfg.Memory == nil || cfg.DDR == nil {
 		return nil, fmt.Errorf("srampdr: missing dependency")
 	}
-	domain := clock.NewDomain("hm-icap", 550*sim.MHz)
+	domain := clock.NewDomain("hm-icap", platform.SecVIICAPClockMHz*sim.MHz)
 	port := icap.New(icap.Config{
 		Kernel: cfg.Kernel,
 		Domain: domain,
@@ -380,5 +378,6 @@ func be32(b []byte) uint32 {
 	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
 }
 
-// TheoreticalThroughputMBs returns the paper's Sec.-VI headline number.
-func TheoreticalThroughputMBs() float64 { return 1237.5 }
+// TheoreticalThroughputMBs returns the paper's Sec.-VI headline number (the
+// SRAM read-port rate in MB/s).
+func TheoreticalThroughputMBs() float64 { return platform.SecVISRAM().ReadBytesPerSec / 1e6 }

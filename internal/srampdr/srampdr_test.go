@@ -7,6 +7,7 @@ import (
 	"repro/internal/bitstream"
 	"repro/internal/dram"
 	"repro/internal/fabric"
+	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -20,13 +21,13 @@ type rig struct {
 
 func newRig(t *testing.T) *rig {
 	t.Helper()
-	r := &rig{kernel: sim.NewKernel(), dev: fabric.Z7020()}
+	r := &rig{kernel: sim.NewKernel(), dev: platform.Default().NewDevice()}
 	r.mem = fabric.NewMemory(r.dev)
 	sys, err := New(Config{
 		Kernel: r.kernel,
 		Device: r.dev,
 		Memory: r.mem,
-		DDR:    dram.NewController(r.kernel, dram.DefaultParams()),
+		DDR:    dram.NewController(r.kernel, platform.Default().DRAM),
 		Seed:   1,
 	})
 	if err != nil {
@@ -42,7 +43,7 @@ func (r *rig) aspBitstream(t *testing.T, name string, rpIdx int) (*bitstream.Bit
 	if err != nil {
 		t.Fatal(err)
 	}
-	rp := fabric.StandardRPs(r.dev)[rpIdx]
+	rp := platform.Default().RPs(r.dev)[rpIdx]
 	bs, err := asp.Bitstream(r.dev, rp)
 	if err != nil {
 		t.Fatal(err)

@@ -28,16 +28,9 @@ type Config struct {
 	Power func() float64
 }
 
-// DefaultConfig returns the ZedBoard-like thermal parameters used by the
-// reproduction: 25 °C room, 5.3 °C/W, 2 s time constant, 1 ms step.
-func DefaultConfig() Config {
-	return Config{
-		AmbientC: 25,
-		RThermal: 5.3,
-		Tau:      2 * sim.Second,
-		Step:     sim.Millisecond,
-	}
-}
+// The calibrated circuit values for each board live in internal/platform
+// (the ZedBoard: 25 °C room, 5.3 °C/W with its heat sink, 2 s time
+// constant, 1 ms integration step).
 
 // Die is the simulated silicon die. It integrates
 //
@@ -86,6 +79,10 @@ func (d *Die) step() {
 
 // TempC returns the true die temperature.
 func (d *Die) TempC() float64 { return d.tempC }
+
+// TimeConstant returns the configured thermal time constant (tests use it to
+// verify which thermal build — physical or fast — a platform was given).
+func (d *Die) TimeConstant() sim.Duration { return d.cfg.Tau }
 
 // SetTempC forces the die temperature (test hook / initial condition).
 func (d *Die) SetTempC(c float64) { d.tempC = c }

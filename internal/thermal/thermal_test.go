@@ -8,9 +8,20 @@ import (
 	"repro/internal/sim"
 )
 
+// testConfig mirrors the ZedBoard thermal circuit (the canonical copy lives
+// in internal/platform, which this package cannot import).
+func testConfig() Config {
+	return Config{
+		AmbientC: 25,
+		RThermal: 5.3,
+		Tau:      2 * sim.Second,
+		Step:     sim.Millisecond,
+	}
+}
+
 func TestDieStartsAtSteadyState(t *testing.T) {
 	k := sim.NewKernel()
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	cfg.Power = func() float64 { return 1.25 }
 	d := NewDie(k, cfg)
 	want := 25 + 1.25*cfg.RThermal
@@ -21,7 +32,7 @@ func TestDieStartsAtSteadyState(t *testing.T) {
 
 func TestDieSelfHeatingConverges(t *testing.T) {
 	k := sim.NewKernel()
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	p := 0.0
 	cfg.Power = func() float64 { return p }
 	d := NewDie(k, cfg)
@@ -38,7 +49,7 @@ func TestDieSelfHeatingConverges(t *testing.T) {
 
 func TestDieExponentialApproach(t *testing.T) {
 	k := sim.NewKernel()
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	p := 0.0
 	cfg.Power = func() float64 { return p }
 	d := NewDie(k, cfg)
@@ -53,7 +64,7 @@ func TestDieExponentialApproach(t *testing.T) {
 
 func TestSensorQuantization(t *testing.T) {
 	k := sim.NewKernel()
-	d := NewDie(k, DefaultConfig())
+	d := NewDie(k, testConfig())
 	d.SetTempC(40.05)
 	r := d.Sensor()
 	// Reading must be within one LSB (≈0.123 °C) of the true value…
@@ -69,7 +80,7 @@ func TestSensorQuantization(t *testing.T) {
 
 func TestSensorClampsToADCRange(t *testing.T) {
 	k := sim.NewKernel()
-	d := NewDie(k, DefaultConfig())
+	d := NewDie(k, testConfig())
 	d.SetTempC(-300) // non-physical, must clamp to code 0
 	if got := d.Sensor(); math.Abs(got-(-273.15)) > 1e-6 {
 		t.Errorf("low clamp = %v", got)
@@ -83,7 +94,7 @@ func TestSensorClampsToADCRange(t *testing.T) {
 func TestHeatGunReachesPaperTemperatures(t *testing.T) {
 	// The paper stresses the die from 40 °C to 100 °C in 10 °C steps.
 	k := sim.NewKernel()
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	cfg.Power = func() float64 { return 1.2 }
 	d := NewDie(k, cfg)
 	g := NewHeatGun(d)
@@ -100,7 +111,7 @@ func TestHeatGunReachesPaperTemperatures(t *testing.T) {
 
 func TestHeatGunOffRelaxes(t *testing.T) {
 	k := sim.NewKernel()
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	cfg.Power = func() float64 { return 1.0 }
 	d := NewDie(k, cfg)
 	g := NewHeatGun(d)
@@ -120,7 +131,7 @@ func TestHeatGunOffRelaxes(t *testing.T) {
 
 func TestHeatGunString(t *testing.T) {
 	k := sim.NewKernel()
-	d := NewDie(k, DefaultConfig())
+	d := NewDie(k, testConfig())
 	g := NewHeatGun(d)
 	if g.String() != "heatgun(off)" {
 		t.Errorf("String = %q", g.String())
@@ -144,7 +155,7 @@ func TestSensorMonotoneProperty(t *testing.T) {
 	// Property: the quantized sensor is monotone non-decreasing in the true
 	// temperature.
 	k := sim.NewKernel()
-	d := NewDie(k, DefaultConfig())
+	d := NewDie(k, testConfig())
 	prop := func(a, b uint8) bool {
 		t1 := 20 + float64(a)/2 // 20..147.5
 		t2 := 20 + float64(b)/2

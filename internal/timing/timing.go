@@ -105,22 +105,10 @@ type Model struct {
 	VNom float64
 }
 
-// DefaultModel returns the model calibrated to the paper's Zynq-7020:
-//
-//   - control path meets timing below 300 MHz at 40 °C;
-//   - data path meets timing below 315 MHz at 40 °C;
-//   - derating 2.8e-4 /°C puts the data-path limit at 310.6 MHz @ 90 °C
-//     (310 MHz passes) and 309.8 MHz @ 100 °C (310 MHz fails), matching the
-//     temperature-stress result;
-//   - no freeze observed up to the 360 MHz the authors tried.
-func DefaultModel() *Model {
-	return &Model{
-		Control:    Path{Delay40: sim.FromNanoseconds(1e3 / 300.0), TempCoeff: 2.8e-4, VoltCoeff: 0.45},
-		Data:       Path{Delay40: sim.FromNanoseconds(1e3 / 315.0), TempCoeff: 2.8e-4, VoltCoeff: 0.45},
-		FreezeFreq: 500 * sim.MHz,
-		VNom:       1.0,
-	}
-}
+// The calibrated path delays for each device live in internal/platform (the
+// paper's Zynq-7020: control path to 300 MHz and data path to 315 MHz at
+// 40 °C, derated 2.8e-4/°C, which puts the data-path limit at 310.6 MHz @
+// 90 °C and 309.8 MHz @ 100 °C — the single failing stress cell).
 
 // Classify returns the outcome of operating the configuration path at
 // frequency f, die temperature tempC and supply voltage vdd.

@@ -7,12 +7,23 @@ import (
 	"repro/internal/sim"
 )
 
+// testModel mirrors the ZedBoard timing calibration (the canonical copy
+// lives in internal/platform, which this package cannot import).
+func testModel() *Model {
+	return &Model{
+		Control:    Path{Delay40: sim.FromNanoseconds(1e3 / 300.0), TempCoeff: 2.8e-4, VoltCoeff: 0.45},
+		Data:       Path{Delay40: sim.FromNanoseconds(1e3 / 315.0), TempCoeff: 2.8e-4, VoltCoeff: 0.45},
+		FreezeFreq: 500 * sim.MHz,
+		VNom:       1.0,
+	}
+}
+
 func mhz(f float64) sim.Hz { return sim.Hz(f * 1e6) }
 
 func TestTableIOutcomesAt40C(t *testing.T) {
 	// Table I of the paper: 100–280 MHz work, 310 MHz hangs (no interrupt,
 	// CRC valid), 320 and 360 MHz corrupt the bitstream.
-	m := DefaultModel()
+	m := testModel()
 	tests := []struct {
 		freqMHz float64
 		want    Outcome
@@ -38,7 +49,7 @@ func TestTemperatureStressMatrix(t *testing.T) {
 	// Sec. IV-A: frequencies up to 310 MHz, temperatures 40–100 °C in 10 °C
 	// steps. Every cell keeps CRC-valid data (OK or Hang) EXCEPT
 	// 310 MHz @ 100 °C, which must corrupt.
-	m := DefaultModel()
+	m := testModel()
 	for _, fMHz := range []float64{100, 140, 180, 200, 240, 280, 310} {
 		for temp := 40.0; temp <= 100; temp += 10 {
 			got := m.ClassifyNominal(mhz(fMHz), temp)
@@ -59,7 +70,7 @@ func TestTemperatureStressMatrix(t *testing.T) {
 func TestOperationalRangeUnaffectedByTemperature(t *testing.T) {
 	// 100–280 MHz must be fully operational (interrupt fires) at every
 	// tested temperature: the paper's stress tests all succeeded there.
-	m := DefaultModel()
+	m := testModel()
 	for _, fMHz := range []float64{100, 140, 180, 200, 240, 280} {
 		for temp := 40.0; temp <= 100; temp += 10 {
 			if got := m.ClassifyNominal(mhz(fMHz), temp); got != OK {
@@ -95,7 +106,7 @@ func TestMaxFreqInverseOfDelay(t *testing.T) {
 }
 
 func TestCorruptionRate(t *testing.T) {
-	m := DefaultModel()
+	m := testModel()
 	if r := m.CorruptionRate(mhz(280), 40, 1.0); r != 0 {
 		t.Errorf("280 MHz @ 40°C corruption = %v, want 0", r)
 	}
@@ -118,7 +129,7 @@ func TestCorruptionRate(t *testing.T) {
 }
 
 func TestFreezeOutcome(t *testing.T) {
-	m := DefaultModel()
+	m := testModel()
 	m.FreezeFreq = 300 * sim.MHz // VF-2012-style platform
 	if got := m.ClassifyNominal(mhz(350), 40); got != Freeze {
 		t.Errorf("got %v, want Freeze", got)
@@ -126,7 +137,7 @@ func TestFreezeOutcome(t *testing.T) {
 }
 
 func TestGuardBandFreq(t *testing.T) {
-	m := DefaultModel()
+	m := testModel()
 	g := m.GuardBandFreq(100, 0.10)
 	// Data/control limit at 100 °C is ≈295 MHz (control path), minus 10%.
 	if g < mhz(255) || g > mhz(275) {
@@ -154,7 +165,7 @@ func TestOutcomeString(t *testing.T) {
 }
 
 func TestMonotonicityProperties(t *testing.T) {
-	m := DefaultModel()
+	m := testModel()
 	// Property 1: outcome severity is monotone in frequency at fixed T.
 	severity := func(o Outcome) int {
 		switch o {
@@ -198,7 +209,7 @@ func TestMonotonicityProperties(t *testing.T) {
 func TestActiveFeedbackVoltageHelps(t *testing.T) {
 	// HP-2011 uses active feedback to keep voltage nominal; a sagging rail
 	// must strictly reduce the data-path limit.
-	m := DefaultModel()
+	m := testModel()
 	fNom := m.Data.MaxFreq(40, 1.0, 1.0)
 	fSag := m.Data.MaxFreq(40, 0.95, 1.0)
 	if fSag >= fNom {

@@ -4,7 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/bitstream"
-	"repro/internal/fabric"
+	"repro/internal/platform"
 	"repro/internal/sim"
 )
 
@@ -38,8 +38,8 @@ func TestLibraryASPLookup(t *testing.T) {
 }
 
 func TestFramesMatchRegionAndAreDeterministic(t *testing.T) {
-	dev := fabric.Z7020()
-	rp := fabric.StandardRPs(dev)[0]
+	dev := platform.Default().NewDevice()
+	rp := platform.Default().RPs(dev)[0]
 	asp, _ := LibraryASP("aes-gcm")
 	f1 := asp.Frames(dev, rp)
 	f2 := asp.Frames(dev, rp)
@@ -56,8 +56,8 @@ func TestFramesMatchRegionAndAreDeterministic(t *testing.T) {
 }
 
 func TestFramesDifferAcrossASPsAndRPs(t *testing.T) {
-	dev := fabric.Z7020()
-	rps := fabric.StandardRPs(dev)
+	dev := platform.Default().NewDevice()
+	rps := platform.Default().RPs(dev)
 	a, _ := LibraryASP("fir128")
 	b, _ := LibraryASP("sha3")
 	ca := bitstream.FrameCRC(a.Frames(dev, rps[0]))
@@ -72,8 +72,8 @@ func TestFramesDifferAcrossASPsAndRPs(t *testing.T) {
 }
 
 func TestBitstreamBuildsAtCalibratedSize(t *testing.T) {
-	dev := fabric.Z7020()
-	rp := fabric.StandardRPs(dev)[0]
+	dev := platform.Default().NewDevice()
+	rp := platform.Default().RPs(dev)[0]
 	for _, asp := range Library() {
 		bs, err := asp.Bitstream(dev, rp)
 		if err != nil {
@@ -86,8 +86,8 @@ func TestBitstreamBuildsAtCalibratedSize(t *testing.T) {
 }
 
 func TestFillFractionDrivesCompressibility(t *testing.T) {
-	dev := fabric.Z7020()
-	rp := fabric.StandardRPs(dev)[0]
+	dev := platform.Default().NewDevice()
+	rp := platform.Default().RPs(dev)[0]
 	sparse := ASP{Name: "sparse", FillFraction: 0.3, Seed: 1}
 	dense := ASP{Name: "dense", FillFraction: 0.9, Seed: 2}
 	ratio := func(a ASP) float64 {

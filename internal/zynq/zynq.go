@@ -15,6 +15,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/fabric"
 	"repro/internal/icap"
+	"repro/internal/platform"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/thermal"
@@ -46,12 +47,13 @@ type PS struct {
 	timerT0  sim.Time
 }
 
-// NewPS creates the processing system with ZedBoard-calibrated latencies.
-func NewPS(k *sim.Kernel) *PS {
+// NewPS creates the processing system with the profile's calibrated
+// latencies.
+func NewPS(k *sim.Kernel, params platform.PSParams) *PS {
 	return &PS{
 		kernel:          k,
-		DispatchLatency: 900 * sim.Nanosecond,
-		HandlerOverhead: 1000 * sim.Nanosecond,
+		DispatchLatency: params.DispatchLatency,
+		HandlerOverhead: params.HandlerOverhead,
 		handlers:        make(map[IRQ]func()),
 	}
 }
@@ -91,6 +93,9 @@ type Platform struct {
 	Kernel *sim.Kernel
 	PS     *PS
 
+	// Profile is the calibration this platform was built from.
+	Profile *platform.Profile
+
 	Device *fabric.Device
 	Memory *fabric.Memory
 	RPs    []fabric.Region
@@ -120,56 +125,74 @@ type Platform struct {
 type Options struct {
 	// Seed drives all stochastic models (corruption patterns).
 	Seed uint64
-	// AmbientC is the room temperature (default 25 °C).
+	// Profile selects the calibrated platform (nil ⇒ the registry default,
+	// the paper's ZedBoard).
+	Profile *platform.Profile
+	// AmbientC is the room temperature (0 ⇒ the profile's boot ambient).
 	AmbientC float64
-	// NominalMHz is the initial over-clock-domain frequency (default 100).
+	// NominalMHz is the initial over-clock-domain frequency (0 ⇒ the
+	// profile's nominal).
 	NominalMHz float64
 	// FastThermal shrinks the thermal time constant for tests that do not
-	// care about heating transients.
+	// care about heating transients. Profiles that force the physical
+	// constant (slow-thermal presets) override it.
 	FastThermal bool
 	// DRAMParams overrides the memory-path parameters (ablations); nil
-	// keeps the calibrated defaults.
+	// keeps the profile's calibration.
 	DRAMParams *dram.Params
 }
 
 // NewPlatform builds the full SoC with the paper's PL design loaded
 // (statically, via PCAP) and all physical couplings wired.
 func NewPlatform(opts Options) (*Platform, error) {
+	prof := opts.Profile
+	if prof == nil {
+		prof = platform.Default()
+	}
 	if opts.AmbientC == 0 {
-		opts.AmbientC = 25
+		opts.AmbientC = prof.BootAmbientC
 	}
 	if opts.NominalMHz == 0 {
-		opts.NominalMHz = 100
+		opts.NominalMHz = prof.Clock.NominalMHz
 	}
 	k := sim.NewKernel()
-	dev := fabric.Z7020()
+	dev := prof.NewDevice()
 	p := &Platform{
 		Kernel:   k,
-		PS:       NewPS(k),
+		PS:       NewPS(k, prof.PS),
+		Profile:  prof,
 		Device:   dev,
 		Memory:   fabric.NewMemory(dev),
-		RPs:      fabric.StandardRPs(dev),
-		Timing:   timing.DefaultModel(),
+		RPs:      prof.RPs(dev),
+		Timing:   prof.TimingModel(),
 		Monitors: make(map[string]*crcmon.Monitor),
 	}
 
 	p.OverclockDomain = clock.NewDomain("overclock", sim.Hz(opts.NominalMHz*1e6))
-	wiz, err := clock.NewWizard(k, 100*sim.MHz, p.OverclockDomain)
+	wiz, err := clock.NewWizard(k, clock.WizardConfig{
+		Fin:      prof.Clock.RefClock,
+		Limits:   prof.Clock.Limits,
+		LockTime: prof.Clock.LockTime,
+	}, p.OverclockDomain)
 	if err != nil {
 		return nil, fmt.Errorf("zynq: %w", err)
 	}
 	p.Wizard = wiz
-	p.ClockManager = clock.NewManager(100*sim.MHz, "clk1", "clk2", "clk3", "clk4", "clk5")
+	p.ClockManager = clock.NewManager(prof.Clock.RefClock, "clk1", "clk2", "clk3", "clk4", "clk5")
 
 	// Power model driven by live frequency/temperature.
-	p.Power = power.NewModel(power.DefaultParams())
+	p.Power = power.NewModel(prof.Power)
 	p.Power.FreqMHz = func() float64 { return p.OverclockDomain.Freq().MHzValue() }
 	p.Power.PLActive = func() bool { return p.plConfigured }
 
 	// Thermal model heated by the chip, measured by the XADC.
-	tcfg := thermal.DefaultConfig()
-	tcfg.AmbientC = opts.AmbientC
-	if opts.FastThermal {
+	tcfg := thermal.Config{
+		AmbientC: opts.AmbientC,
+		RThermal: prof.Thermal.RThermalCPerW,
+		Tau:      prof.Thermal.Tau,
+		Step:     prof.Thermal.Step,
+	}
+	if opts.FastThermal && !prof.SlowThermal {
 		tcfg.Tau = 50 * sim.Millisecond
 		tcfg.Step = sim.Millisecond
 	}
@@ -179,12 +202,12 @@ func NewPlatform(opts Options) (*Platform, error) {
 	p.Power.TempC = func() float64 { return p.Die.TempC() }
 
 	// Memory path and configuration path.
-	dparams := dram.DefaultParams()
+	dparams := prof.DRAM
 	if opts.DRAMParams != nil {
 		dparams = *opts.DRAMParams
 	}
 	p.DDR = dram.NewController(k, dparams)
-	p.LiteBus = axi.NewLiteBus(k)
+	p.LiteBus = axi.NewLiteBus(k, prof.AXI.LiteWriteLatency, prof.AXI.LiteReadLatency)
 	p.ICAP = icap.New(icap.Config{
 		Kernel: k,
 		Domain: p.OverclockDomain,
@@ -194,10 +217,11 @@ func NewPlatform(opts Options) (*Platform, error) {
 		Seed:   opts.Seed,
 	})
 	p.DMA = dma.New(dma.Config{
-		Kernel: k,
-		Bus:    p.LiteBus,
-		DRAM:   p.DDR,
-		Domain: p.OverclockDomain,
+		Kernel:        k,
+		Bus:           p.LiteBus,
+		DRAM:          p.DDR,
+		Domain:        p.OverclockDomain,
+		CDCSyncCycles: prof.AXI.CDCSyncCycles,
 		IRQGate: func() bool {
 			return p.Timing.ClassifyNominal(p.OverclockDomain.Freq(), p.Die.TempC()) == timing.OK
 		},
@@ -218,9 +242,10 @@ func NewPlatform(opts Options) (*Platform, error) {
 // (the full bitstream cannot go through the ICAP — the ICAP is part of it).
 // It advances simulated time by the PCAP transfer and marks the PL live.
 func (p *Platform) ConfigureStatic() {
-	// PCAP moves the ~3.3 MB full image at its ~145 MB/s effective rate.
+	// PCAP moves the full image at its effective rate (the ZedBoard's
+	// ~3.3 MB at ~145 MB/s ≈ 22.6 ms).
 	full := float64(p.Device.ConfigBytes())
-	p.Kernel.RunFor(sim.FromSeconds(full / 145e6))
+	p.Kernel.RunFor(sim.FromSeconds(full / p.Profile.PS.PCAPBytesPerSec))
 	p.plConfigured = true
 }
 

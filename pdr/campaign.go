@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/platform"
 	"repro/internal/workpool"
 )
 
@@ -22,30 +23,43 @@ type (
 // Scenarios lists every registered scenario in suite order (E1…E9, A1…A5).
 func Scenarios() []Scenario { return experiments.All() }
 
-// BoardVariant selects the simulated board build a campaign runs on.
+// BoardVariant selects the simulated board build a campaign runs on. Every
+// registered platform profile is a valid variant (see Platforms), so the
+// value is simply the profile name; these constants name the built-ins.
 type BoardVariant string
 
 const (
 	// ZedBoard is the calibrated paper setup: 25 °C ambient, fast
 	// test-friendly thermal time constant.
 	ZedBoard BoardVariant = "zedboard"
-	// ZedBoardSlowThermal uses the physical 2 s thermal time constant.
+	// ZedBoardSlowThermal is the ZedBoard preset with the physical 2 s
+	// thermal time constant.
 	ZedBoardSlowThermal BoardVariant = "zedboard-slow-thermal"
-	// ZedBoardHot models a 45 °C chamber (harsh-environment deployments).
+	// ZedBoardHot is the ZedBoard preset in a 45 °C chamber
+	// (harsh-environment deployments).
 	ZedBoardHot BoardVariant = "zedboard-hot"
+	// ZyboZ710 is the smaller Zybo Z7-10 board (xc7z010 fabric, ≈550 MB/s
+	// memory plateau).
+	ZyboZ710 BoardVariant = "zybo-z7-10"
+	// ZC706 is the larger ZC706 board (xc7z045 fabric, ≈990 MB/s plateau,
+	// faster speed grade).
+	ZC706 BoardVariant = "zc706"
 )
 
+// ApplyBoardVariant resolves a variant into an experiments configuration —
+// the same resolution a campaign performs. Exposed for tests and tooling
+// that build experiment Envs directly.
+func ApplyBoardVariant(v BoardVariant, cfg *experiments.Config) error { return v.apply(cfg) }
+
+// apply resolves the variant against the platform registry, so the list of
+// valid names (and the error message) can never drift from the profiles
+// actually registered.
 func (v BoardVariant) apply(cfg *experiments.Config) error {
-	switch v {
-	case "", ZedBoard:
-	case ZedBoardSlowThermal:
-		cfg.SlowThermal = true
-	case ZedBoardHot:
-		cfg.AmbientC = 45
-	default:
-		return fmt.Errorf("pdr: unknown board variant %q (want %s, %s or %s)",
-			v, ZedBoard, ZedBoardSlowThermal, ZedBoardHot)
+	if _, ok := platform.Lookup(string(v)); !ok {
+		return fmt.Errorf("pdr: unknown board variant %q (registered platforms: %s)",
+			v, strings.Join(platform.Names(), ", "))
 	}
+	cfg.Platform = string(v)
 	return nil
 }
 
@@ -217,7 +231,7 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 			errs[i] = err
 			return
 		}
-		env, err := experiments.NewEnvWith(ecfg)
+		env, err := experiments.NewEnvWith(scens[u.scen].EnvConfig(ecfg, u.shard))
 		if err != nil {
 			errs[i] = err
 			cancel()

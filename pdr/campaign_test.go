@@ -7,6 +7,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/experiments"
+	"repro/internal/sim"
 	"repro/pdr"
 )
 
@@ -101,6 +103,67 @@ func TestCampaignBoardVariantHot(t *testing.T) {
 	}
 	if len(res.Reports) != 1 || res.Reports[0].ID != "E8" {
 		t.Errorf("reports = %+v", res.Reports)
+	}
+}
+
+// TestCampaignBoardVariantSlowThermal proves the slow-thermal preset plumbs
+// all the way through: the variant resolves to the registered profile, the
+// Env is built from it, and the die really carries the physical 2 s time
+// constant (the fast test-friendly shortcut must NOT win).
+func TestCampaignBoardVariantSlowThermal(t *testing.T) {
+	var cfg experiments.Config
+	if err := pdr.ApplyBoardVariant(pdr.ZedBoardSlowThermal, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Platform != string(pdr.ZedBoardSlowThermal) {
+		t.Fatalf("variant set Platform = %q", cfg.Platform)
+	}
+	env, err := experiments.NewEnvWith(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := env.Platform.Profile.Name; got != "zedboard-slow-thermal" {
+		t.Errorf("env profile = %q", got)
+	}
+	if got := env.Platform.Die.TimeConstant(); got != 2*sim.Second {
+		t.Errorf("die time constant = %v, want the physical 2s", got)
+	}
+	// The default build keeps the fast thermal shortcut.
+	base, err := experiments.NewEnvWith(experiments.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := base.Platform.Die.TimeConstant(); got != 50*sim.Millisecond {
+		t.Errorf("default die time constant = %v, want the fast 50ms", got)
+	}
+	// End to end: a campaign on the preset runs (E8 is analytic and cheap).
+	res, err := pdr.NewCampaign(
+		pdr.WithScenarios("E8"),
+		pdr.WithBoardVariant(pdr.ZedBoardSlowThermal),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 1 || res.Reports[0].ID != "E8" {
+		t.Errorf("reports = %+v", res.Reports)
+	}
+}
+
+// TestCampaignOnOtherSilicon runs a real (non-analytic) scenario on the two
+// new boards through the public campaign API.
+func TestCampaignOnOtherSilicon(t *testing.T) {
+	for _, v := range []pdr.BoardVariant{pdr.ZyboZ710, pdr.ZC706} {
+		res, err := pdr.NewCampaign(
+			pdr.WithCampaignSeed(42),
+			pdr.WithScenarios("E1"),
+			pdr.WithBoardVariant(v),
+		).Run(context.Background())
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if len(res.Reports) != 1 || len(res.Reports[0].Rows) == 0 {
+			t.Errorf("%s: empty E1 report", v)
+		}
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/fabric"
 	"repro/internal/hll"
+	"repro/internal/platform"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/srampdr"
@@ -65,6 +66,7 @@ type Option func(*options)
 
 type options struct {
 	seed        uint64
+	platform    string
 	ambientC    float64
 	fastThermal bool
 }
@@ -72,12 +74,47 @@ type options struct {
 // WithSeed fixes the deterministic seed (default 1).
 func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
 
-// WithAmbient sets the room temperature in °C (default 25).
+// WithPlatform selects the registered platform profile the system simulates
+// (default "zedboard", the paper's calibrated board; see Platforms for the
+// registry).
+func WithPlatform(name string) Option { return func(o *options) { o.platform = name } }
+
+// WithAmbient sets the room temperature in °C (default: the platform
+// profile's boot ambient, 25 on the ZedBoard).
 func WithAmbient(c float64) Option { return func(o *options) { o.ambientC = c } }
 
-// WithSlowThermal uses the physical 2 s thermal time constant instead of
-// the fast test-friendly one.
+// WithSlowThermal uses the physical thermal time constant instead of the
+// fast test-friendly one.
 func WithSlowThermal() Option { return func(o *options) { o.fastThermal = false } }
+
+// PlatformInfo summarises one registered platform profile.
+type PlatformInfo struct {
+	// Name is the registry key accepted by WithPlatform / BoardVariant.
+	Name string
+	// Board and Part name the hardware.
+	Board, Part string
+	// Summary is a one-line description.
+	Summary string
+	// Variant reports whether the profile is a preset of another board
+	// rather than distinct silicon.
+	Variant bool
+}
+
+// Platforms lists the registered platform profiles in registry order.
+func Platforms() []PlatformInfo {
+	profs := platform.All()
+	out := make([]PlatformInfo, len(profs))
+	for i, p := range profs {
+		out[i] = PlatformInfo{
+			Name:    p.Name,
+			Board:   p.Board,
+			Part:    p.Part,
+			Summary: p.Summary,
+			Variant: p.VariantOf != "",
+		}
+	}
+	return out
+}
 
 // System is a booted board plus the paper's controller stack.
 type System struct {
@@ -89,14 +126,20 @@ type System struct {
 	sramInit bool
 }
 
-// NewSystem builds and boots a simulated ZedBoard with the PDR design.
+// NewSystem builds and boots a simulated board with the PDR design (the
+// paper's ZedBoard unless WithPlatform selects another registered profile).
 func NewSystem(opts ...Option) (*System, error) {
-	o := options{seed: 1, ambientC: 25, fastThermal: true}
+	o := options{seed: 1, fastThermal: true}
 	for _, fn := range opts {
 		fn(&o)
 	}
+	prof, ok := platform.Lookup(o.platform)
+	if !ok {
+		return nil, fmt.Errorf("pdr: unknown platform %q (registered: %s)", o.platform, platform.NameList())
+	}
 	p, err := zynq.NewPlatform(zynq.Options{
 		Seed:        o.seed,
+		Profile:     prof,
 		AmbientC:    o.ambientC,
 		FastThermal: o.fastThermal,
 	})
@@ -264,7 +307,7 @@ func (s *System) SRAMPipeline() (*srampdr.System, error) {
 		Kernel: p.Kernel,
 		Device: p.Device,
 		Memory: p.Memory,
-		DDR:    dram.NewController(p.Kernel, dram.DefaultParams()),
+		DDR:    dram.NewController(p.Kernel, p.Profile.DRAM),
 		TempC:  func() float64 { return p.Die.TempC() },
 		Seed:   99,
 	})

@@ -246,3 +246,46 @@ func TestRegionsExposed(t *testing.T) {
 		t.Errorf("ASPs = %d", len(sys.ASPs()))
 	}
 }
+
+func TestNewSystemWithPlatform(t *testing.T) {
+	sys, err := pdr.NewSystem(pdr.WithSeed(7), pdr.WithPlatform("zybo-z7-10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Platform().Profile.Name; got != "zybo-z7-10" {
+		t.Errorf("profile = %q", got)
+	}
+	if got := len(sys.Regions()); got != 3 {
+		t.Errorf("zybo RPs = %d, want 3", got)
+	}
+	if _, err := sys.SetFrequencyMHz(140); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.LoadASP("RP1", "fir128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IRQReceived || !res.CRCValid || !res.DataIntact {
+		t.Errorf("zybo 140 MHz load should succeed cleanly: %+v", res)
+	}
+	if _, err := pdr.NewSystem(pdr.WithPlatform("martian-fpga")); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}
+
+func TestPlatformsListing(t *testing.T) {
+	infos := pdr.Platforms()
+	if len(infos) < 5 {
+		t.Fatalf("Platforms = %d entries", len(infos))
+	}
+	byName := map[string]pdr.PlatformInfo{}
+	for _, p := range infos {
+		byName[p.Name] = p
+	}
+	if p := byName["zedboard"]; p.Variant || p.Part != "xc7z020" {
+		t.Errorf("zedboard info = %+v", p)
+	}
+	if p := byName["zedboard-hot"]; !p.Variant {
+		t.Errorf("zedboard-hot should be a variant: %+v", p)
+	}
+}
