@@ -251,6 +251,53 @@ func BenchmarkCampaignSuite(b *testing.B) {
 	}
 }
 
+// BenchmarkSaturationSweep regenerates the saturation scenario (E11): the
+// open-loop latency-vs-offered-load sweep over every platform board, with
+// and without the DRAM bitstream cache. Metrics: the ZedBoard's detected
+// saturation knee in both modes (the cache's knee shift is the scenario's
+// headline) and the cached p99 at the lowest offered rate.
+func BenchmarkSaturationSweep(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = benchScenario(b, "E11")
+	}
+	series := map[string][]sim.Point{}
+	for _, s := range rep.Series {
+		series[s.Name] = s.Points
+	}
+	kneeCache, _ := experiments.SaturationKnee(series["e11_zedboard_cache"])
+	kneeNone, _ := experiments.SaturationKnee(series["e11_zedboard_nocache"])
+	b.ReportMetric(kneeCache, "knee-cache-req/s")
+	b.ReportMetric(kneeNone, "knee-nocache-req/s")
+	if pts := series["e11_zedboard_cache"]; len(pts) > 0 {
+		b.ReportMetric(pts[0].Y/1000, "p99-ms-cache-lowrate")
+	}
+}
+
+// BenchmarkSchedPolicies regenerates the policy × cache-budget comparison
+// (E12). Metric: the p99 spread between the best and worst policy at the
+// thrashing 4-image budget.
+func BenchmarkSchedPolicies(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = benchScenario(b, "E12")
+	}
+	best, worst := 0.0, 0.0
+	for _, s := range rep.Series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		p99 := s.Points[0].Y
+		if best == 0 || p99 < best {
+			best = p99
+		}
+		if p99 > worst {
+			worst = p99
+		}
+	}
+	b.ReportMetric(worst/best, "p99-policy-spread")
+}
+
 // --- substrate micro-benchmarks ---
 
 func benchFrames(n int) [][]uint32 {

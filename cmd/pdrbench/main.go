@@ -125,16 +125,25 @@ func realMain(ctx context.Context, w io.Writer, opts options) error {
 }
 
 func listScenarios(w io.Writer) error {
-	fmt.Fprintf(w, "%-4s %-9s %-7s %s\n", "ID", "alias", "shards", "title")
+	// Shard counts and platform spans reflect the default configuration —
+	// the same plan a default campaign executes (grid overrides reshape
+	// E11's segments, the -platform flag the single-platform scenarios).
+	cfg := experiments.Config{}
+	fmt.Fprintf(w, "%-4s %-9s %-7s %-26s %s\n", "ID", "alias", "shards", "platforms", "title")
 	for _, s := range pdr.Scenarios() {
 		alias := ""
 		if len(s.Aliases) > 0 {
 			alias = s.Aliases[0]
 		}
-		if _, err := fmt.Fprintf(w, "%-4s %-9s %-7d %s\n", s.ID, alias, s.Shards(experiments.Config{}), s.Title); err != nil {
+		platforms := "campaign"
+		if s.Platforms != nil {
+			platforms = strings.Join(s.Platforms(cfg), ",")
+		}
+		if _, err := fmt.Fprintf(w, "%-4s %-9s %-7d %-26s %s\n", s.ID, alias, s.Shards(cfg), platforms, s.Title); err != nil {
 			return err
 		}
 	}
+	fmt.Fprintln(w, "(\"campaign\" = runs on the -platform selection)")
 	fmt.Fprintf(w, "\nplatforms (-platform):\n%-22s %-20s %-9s %s\n", "name", "board", "part", "summary")
 	for _, p := range pdr.Platforms() {
 		name := p.Name

@@ -17,6 +17,10 @@ type Params struct {
 	// losses. Calibrated to 824 MB/s: a 64-bit port at ~103 MHz effective
 	// beat rate after interconnect arbitration overhead.
 	PortBytesPerSec float64
+	// SizeBytes is the board's DRAM capacity. The burst server itself does
+	// not address memory (the fabric model owns contents); capacity bounds
+	// how much a service may pin, e.g. the bitstream-cache budget.
+	SizeBytes int64
 	// RefreshInterval is the DDR3 tREFI.
 	RefreshInterval sim.Duration
 	// RefreshStall is the effective per-refresh stall seen by the port

@@ -26,6 +26,10 @@ type Scenario struct {
 	// shard before its Env is built (E10 selects a different platform per
 	// shard). nil means every shard runs the campaign configuration.
 	ShardConfig func(cfg Config, shard int) Config
+	// Platforms optionally lists the platform profiles the scenario's
+	// shards span (the cross-device scenarios sweep every board). nil
+	// means the scenario runs on the campaign's selected platform.
+	Platforms func(cfg Config) []string
 	// Run executes one shard on a fresh Env and returns its (partial)
 	// report. Single-shard scenarios ignore the shard index. Run must
 	// honour ctx between measurement points.
@@ -215,8 +219,27 @@ func init() {
 		Aliases:     []string{"xplat"},
 		Shards:      xplatShards,
 		ShardConfig: xplatShardConfig,
+		Platforms:   boardNames,
 		Run:         xplatShard,
 		Merge:       xplatMerge,
+	})
+	Register(Scenario{
+		ID:          "E11",
+		Title:       satTitle,
+		Aliases:     []string{"saturate"},
+		Shards:      satShards,
+		ShardConfig: satShardConfig,
+		Platforms:   boardNames,
+		Run:         satShard,
+		Merge:       satMerge,
+	})
+	Register(Scenario{
+		ID:      "E12",
+		Title:   schedTitle,
+		Aliases: []string{"sched"},
+		Shards:  schedShards,
+		Run:     schedShard,
+		Merge:   schedMerge,
 	})
 	Register(Scenario{
 		ID:      "A1",

@@ -10,7 +10,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "A1", "A2", "A3", "A4", "A5"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "A1", "A2", "A3", "A4", "A5"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d scenarios, want %d: %v", len(got), len(want), got)
@@ -38,7 +38,9 @@ func TestLookupByIDAndAlias(t *testing.T) {
 
 func TestShardPlanFixed(t *testing.T) {
 	cfg := Config{Seed: 42}
-	plans := map[string]int{"E1": 1, "E2": 3, "E3": 7, "E4": 4, "E9": 4, "E10": 3, "A5": 1}
+	// E11: 3 boards × 3 rate segments (6 rates, 2 per shard); E12: one
+	// shard per dispatch policy.
+	plans := map[string]int{"E1": 1, "E2": 3, "E3": 7, "E4": 4, "E9": 4, "E10": 3, "E11": 9, "E12": 3, "A5": 1}
 	for id, want := range plans {
 		s, ok := Lookup(id)
 		if !ok {
@@ -47,6 +49,31 @@ func TestShardPlanFixed(t *testing.T) {
 		if got := s.Shards(cfg); got != want {
 			t.Errorf("%s shard plan = %d, want %d", id, got, want)
 		}
+	}
+	// A rate-grid override reshapes the E11 plan deterministically.
+	small := cfg
+	small.Rates = []float64{100, 400}
+	if s, _ := Lookup("E11"); s.Shards(small) != 3 {
+		t.Errorf("E11 with 2 rates = %d shards, want 3 (1 segment × 3 boards)", s.Shards(small))
+	}
+}
+
+func TestServeScenarioPlatformColumns(t *testing.T) {
+	cfg := Config{Seed: 42}
+	for _, id := range []string{"E10", "E11"} {
+		s, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		if s.Platforms == nil {
+			t.Fatalf("%s should declare its platform span", id)
+		}
+		if got := s.Platforms(cfg); len(got) != 3 {
+			t.Errorf("%s platforms = %v, want the 3 boards", id, got)
+		}
+	}
+	if s, _ := Lookup("E12"); s.Platforms != nil {
+		t.Error("E12 runs on the campaign platform (nil Platforms)")
 	}
 }
 

@@ -1,0 +1,117 @@
+package hll
+
+import (
+	"repro/internal/bitstream"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/fabric"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// rpState tracks one partition.
+type rpState struct {
+	region   fabric.Region
+	resident string // ASP name, "" when empty
+	clock    string // Clock Manager output feeding this RP
+	// imageBytes is the partial-bitstream size for this RP (every library
+	// ASP fills the full frame span, so size is a function of the region).
+	imageBytes int
+	// busyUntil is when the RP's current compute finishes (service mode);
+	// a time at or before "now" means the partition is free.
+	busyUntil sim.Time
+}
+
+// engine is the machinery shared by the closed-loop trace replayer
+// (Framework) and the open-loop reconfiguration service (Service): the
+// per-RP states and data-DMA traffic generators, the DRAM-resident
+// bitstream cache, and the load path through the over-clocked controller.
+type engine struct {
+	ctrl *core.Controller
+	// order lists the RP names in platform order — every scan uses it, so
+	// no map iteration can perturb determinism.
+	order []string
+	rps   map[string]*rpState
+	// traffic models each RP's private data DMA on the shared memory
+	// interface; a computing ASP contends with the configuration path.
+	traffic map[string]*dram.Traffic
+
+	// cache is the DRAM-resident bitstream store; stageRate is the
+	// backing-store (SD card) rate paid to stage an image on a miss
+	// (0 = staging is free, the legacy replayer behaviour).
+	cache     *sched.Cache
+	stageRate float64
+	stageTime sim.Duration
+}
+
+// newEngine assembles the per-RP state exactly as the Fig.-1 framework
+// wires it: one traffic generator per RP (registration order = platform RP
+// order) and one Clock Manager output per partition.
+func newEngine(ctrl *core.Controller, cacheBudget int64, stageRate float64) *engine {
+	e := &engine{
+		ctrl:      ctrl,
+		rps:       make(map[string]*rpState),
+		traffic:   make(map[string]*dram.Traffic),
+		cache:     sched.NewCache(cacheBudget),
+		stageRate: stageRate,
+	}
+	p := ctrl.Platform()
+	clocks := p.ClockManager.Names()
+	for i, rp := range p.RPs {
+		e.order = append(e.order, rp.Name)
+		e.rps[rp.Name] = &rpState{
+			region:     rp,
+			clock:      clocks[i%len(clocks)],
+			imageBytes: bitstream.ExpectedSize(p.Device.RegionFrames(rp)),
+		}
+		e.traffic[rp.Name] = dram.NewTraffic(p.Kernel, p.DDR, 0)
+	}
+	return e
+}
+
+// acquire returns the ASP's image for the RP, staging it into the DRAM
+// cache on a miss. Staging costs simulated time at the backing-store rate
+// (the SD card the paper boots bitstreams from); a DRAM hit costs nothing
+// extra — the DMA streams it straight to the ICAP.
+func (e *engine) acquire(asp workload.ASP, st *rpState) (*bitstream.Bitstream, error) {
+	key := asp.Name + "@" + st.region.Name
+	if bs, ok := e.cache.Get(key); ok {
+		return bs, nil
+	}
+	bs, err := asp.Bitstream(e.ctrl.Platform().Device, st.region)
+	if err != nil {
+		return nil, err
+	}
+	if e.stageRate > 0 {
+		d := sim.FromSeconds(float64(bs.Size()) / e.stageRate)
+		e.ctrl.Platform().Kernel.RunFor(d)
+		e.stageTime += d
+	}
+	e.cache.Put(key, bs)
+	return bs, nil
+}
+
+// loadASP performs the partial reconfiguration and the post-load clock
+// retarget, accounting into stats. It reports ok=false when the CRC
+// read-back rejected the load (the request is dropped, as the paper's
+// framework drops requests whose image did not verify).
+func (e *engine) loadASP(stats *Stats, st *rpState, asp workload.ASP, bs *bitstream.Bitstream) (bool, error) {
+	p := e.ctrl.Platform()
+	t0 := p.Kernel.Now()
+	res, err := e.ctrl.Load(st.region.Name, bs)
+	if err != nil {
+		return false, err
+	}
+	stats.Reconfigs++
+	stats.ReconfigTime += p.Kernel.Now().Sub(t0)
+	if !res.CRCValid {
+		stats.Failures++
+		st.resident = ""
+		return false, nil
+	}
+	st.resident = asp.Name
+	// Each RP gets the clock its ASP timing closure allows.
+	p.ClockManager.Domain(st.clock).SetFreq(sim.Hz(asp.ClockMHz * 1e6))
+	return true, nil
+}

@@ -1,28 +1,29 @@
 // Package hll implements the paper's acceleration framework (Fig. 1): four
 // reconfigurable partitions with per-RP clocks from the Clock Manager,
-// interrupt-driven status, and an on-demand scheduler that swaps ASPs in and
-// out as requests arrive — the "dynamically loaded hardware routines" story
-// of the introduction. Reconfigurations go through the over-clocked core
-// controller; the framework measures how much of the wall clock they cost.
+// interrupt-driven status, and on-demand ASP swapping through the
+// over-clocked core controller — the "dynamically loaded hardware
+// routines" story of the introduction.
+//
+// The package has two front-ends over one engine:
+//
+//   - Framework replays a fixed trace closed-loop (each request waits for
+//     the previous one), exactly as the paper's measurement harness did —
+//     the E9 scenario runs on it and its timing is pinned by the
+//     determinism suite.
+//   - Service runs the framework as an open-loop reconfiguration service:
+//     rate-parameterised arrival streams, per-RP queues with admission
+//     control, pluggable dispatch policies arbitrating the single physical
+//     ICAP, and a DRAM-resident bitstream cache with LRU eviction — the
+//     layer the saturation (E11) and scheduling (E12) scenarios measure.
 package hll
 
 import (
 	"fmt"
 
-	"repro/internal/bitstream"
 	"repro/internal/core"
-	"repro/internal/dram"
-	"repro/internal/fabric"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
-
-// rpState tracks one partition.
-type rpState struct {
-	region   fabric.Region
-	resident string // ASP name, "" when empty
-	clock    string // Clock Manager output feeding this RP
-}
 
 // Stats aggregates a run.
 type Stats struct {
@@ -39,6 +40,11 @@ type Stats struct {
 	Makespan     sim.Duration
 	// Failures counts loads that did not verify.
 	Failures int
+	// QueueWaitUS samples each request's wait between arrival and dispatch
+	// in microseconds; ServiceUS samples dispatch→completion. Percentiles
+	// (p50/p95/p99) come from sim.Sample.
+	QueueWaitUS sim.Sample
+	ServiceUS   sim.Sample
 }
 
 // OverheadFraction is reconfiguration time / makespan — the metric that
@@ -50,40 +56,24 @@ func (s Stats) OverheadFraction() float64 {
 	return float64(s.ReconfigTime) / float64(s.Makespan)
 }
 
-// Framework is the assembled Fig.-1 system.
+// Framework is the assembled Fig.-1 system replaying a fixed trace
+// closed-loop: requests are served strictly in order, each queueing behind
+// the previous one as with a busy accelerator.
 type Framework struct {
-	ctrl *core.Controller
-	rps  map[string]*rpState
-
-	// cache of built bitstreams: (asp, rp) → image
-	cache map[string]*bitstream.Bitstream
-	// traffic models each RP's private data DMA on the shared memory
-	// interface; a computing ASP contends with the configuration path.
-	traffic map[string]*dram.Traffic
-
+	eng   *engine
 	stats Stats
 }
 
-// New builds the framework on a platform-backed controller.
+// New builds the framework on a platform-backed controller. The replayer
+// keeps the legacy build-once bitstream behaviour: an unlimited cache with
+// free staging, so its simulated timing is a pure function of the trace.
 func New(ctrl *core.Controller) *Framework {
-	f := &Framework{
-		ctrl:    ctrl,
-		rps:     make(map[string]*rpState),
-		cache:   make(map[string]*bitstream.Bitstream),
-		traffic: make(map[string]*dram.Traffic),
-	}
-	p := ctrl.Platform()
-	clocks := p.ClockManager.Names()
-	for i, rp := range p.RPs {
-		f.rps[rp.Name] = &rpState{region: rp, clock: clocks[i%len(clocks)]}
-		f.traffic[rp.Name] = dram.NewTraffic(p.Kernel, p.DDR, 0)
-	}
-	return f
+	return &Framework{eng: newEngine(ctrl, -1, 0)}
 }
 
 // Resident returns the ASP currently configured in the RP ("" if none).
 func (f *Framework) Resident(rp string) (string, error) {
-	st, ok := f.rps[rp]
+	st, ok := f.eng.rps[rp]
 	if !ok {
 		return "", fmt.Errorf("hll: unknown RP %q", rp)
 	}
@@ -93,24 +83,11 @@ func (f *Framework) Resident(rp string) (string, error) {
 // Stats returns the accumulated statistics.
 func (f *Framework) Stats() Stats { return f.stats }
 
-// bitstreamFor builds (and caches) the ASP's image for the RP.
-func (f *Framework) bitstreamFor(asp workload.ASP, st *rpState) (*bitstream.Bitstream, error) {
-	key := asp.Name + "@" + st.region.Name
-	if bs, ok := f.cache[key]; ok {
-		return bs, nil
-	}
-	bs, err := asp.Bitstream(f.ctrl.Platform().Device, st.region)
-	if err != nil {
-		return nil, err
-	}
-	f.cache[key] = bs
-	return bs, nil
-}
-
 // serve handles one request synchronously in simulated time: reconfigure if
-// needed, set the RP clock, then run the ASP's compute.
-func (f *Framework) serve(req workload.Request) error {
-	st, ok := f.rps[req.RP]
+// needed, set the RP clock, then run the ASP's compute. target is the
+// request's nominal arrival time (for queue-wait accounting).
+func (f *Framework) serve(req workload.Request, target sim.Time) error {
+	st, ok := f.eng.rps[req.RP]
 	if !ok {
 		return fmt.Errorf("hll: unknown RP %q", req.RP)
 	}
@@ -118,56 +95,55 @@ func (f *Framework) serve(req workload.Request) error {
 	if err != nil {
 		return err
 	}
-	p := f.ctrl.Platform()
+	p := f.eng.ctrl.Platform()
 	f.stats.Requests++
+	dispatch := p.Kernel.Now()
+	f.stats.QueueWaitUS.Add(dispatch.Sub(target).Microseconds())
 
 	if st.resident != asp.Name {
-		bs, err := f.bitstreamFor(asp, st)
+		bs, err := f.eng.acquire(asp, st)
 		if err != nil {
 			return err
 		}
-		t0 := p.Kernel.Now()
-		res, err := f.ctrl.Load(req.RP, bs)
+		ok, err := f.eng.loadASP(&f.stats, st, asp, bs)
 		if err != nil {
 			return err
 		}
-		f.stats.Reconfigs++
-		f.stats.ReconfigTime += p.Kernel.Now().Sub(t0)
-		if !res.CRCValid {
-			f.stats.Failures++
-			st.resident = ""
+		if !ok {
 			return nil // request dropped; caller sees it in stats
 		}
-		st.resident = asp.Name
-		// Each RP gets the clock its ASP timing closure allows.
-		p.ClockManager.Domain(st.clock).SetFreq(sim.Hz(asp.ClockMHz * 1e6))
 	} else {
 		f.stats.Hits++
 	}
 
 	// Run the task; the ASP's data DMA loads the shared memory interface
 	// for the duration.
-	gen := f.traffic[req.RP]
+	gen := f.eng.traffic[req.RP]
 	gen.SetRate(asp.MemBandwidthMBs)
 	gen.Start()
 	p.Kernel.RunFor(asp.ComputeTime)
 	gen.Stop()
 	f.stats.ComputeTime += asp.ComputeTime
+	f.stats.ServiceUS.Add(p.Kernel.Now().Sub(dispatch).Microseconds())
 	return nil
 }
 
 // Run executes a whole trace, honouring request times (a request earlier
 // than "now" queues behind the previous one, as with a busy accelerator).
+// When a mid-trace request fails, Run returns the statistics accumulated
+// up to the failure — makespan included — with the error wrapped, so a
+// caller keeps the progress a partial run paid for.
 func (f *Framework) Run(tr workload.Trace) (Stats, error) {
-	p := f.ctrl.Platform()
+	p := f.eng.ctrl.Platform()
 	start := p.Kernel.Now()
-	for _, req := range tr {
+	for i, req := range tr {
 		target := start.Add(req.At)
 		if p.Kernel.Now() < target {
 			p.Kernel.RunUntil(target)
 		}
-		if err := f.serve(req); err != nil {
-			return f.stats, err
+		if err := f.serve(req, target); err != nil {
+			f.stats.Makespan = p.Kernel.Now().Sub(start)
+			return f.stats, fmt.Errorf("hll: request %d (%s on %s): %w", i, req.ASP, req.RP, err)
 		}
 	}
 	f.stats.Makespan = p.Kernel.Now().Sub(start)

@@ -1,6 +1,7 @@
 package hll
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -62,8 +63,8 @@ func TestPerRPClocksFollowASPs(t *testing.T) {
 		t.Fatal(err)
 	}
 	cm := c.Platform().ClockManager
-	got1 := f.rps["RP1"].clock
-	got2 := f.rps["RP2"].clock
+	got1 := f.eng.rps["RP1"].clock
+	got2 := f.eng.rps["RP2"].clock
 	if cm.Domain(got1).Freq() != 200*sim.MHz {
 		t.Errorf("RP1 clock = %v", cm.Domain(got1).Freq())
 	}
@@ -153,7 +154,64 @@ func TestBitstreamCacheReused(t *testing.T) {
 	if _, err := f.Run(tr); err != nil {
 		t.Fatal(err)
 	}
-	if len(f.cache) != 2 {
-		t.Errorf("cache entries = %d, want 2", len(f.cache))
+	cs := f.eng.cache.Stats()
+	if cs.Misses != 2 {
+		t.Errorf("cache misses = %d, want 2 (one build per distinct image)", cs.Misses)
+	}
+	if cs.Hits != 2 {
+		t.Errorf("cache hits = %d, want 2 (repeat loads reuse the image)", cs.Hits)
+	}
+}
+
+func TestRunReturnsPartialStatsOnMidTraceFailure(t *testing.T) {
+	f, _ := newFramework(t)
+	tr := workload.Trace{
+		{At: 0, RP: "RP1", ASP: "fir128"},
+		{At: 100 * sim.Microsecond, RP: "RP2", ASP: "ghost"}, // fails mid-trace
+		{At: 200 * sim.Microsecond, RP: "RP1", ASP: "sha3"},
+	}
+	stats, err := f.Run(tr)
+	if err == nil {
+		t.Fatal("mid-trace failure must surface an error")
+	}
+	if !strings.Contains(err.Error(), "request 1") || !strings.Contains(err.Error(), "ghost") {
+		t.Errorf("error should locate the failing request: %v", err)
+	}
+	// Progress before the failure survives: the first request was served,
+	// and the makespan covers the partial run instead of being discarded.
+	if stats.Requests != 1 || stats.Reconfigs != 1 {
+		t.Errorf("partial stats lost: requests=%d reconfigs=%d, want 1/1", stats.Requests, stats.Reconfigs)
+	}
+	if stats.Makespan <= 0 {
+		t.Errorf("partial Makespan = %v, want > 0", stats.Makespan)
+	}
+	if stats.ReconfigTime <= 0 {
+		t.Errorf("partial ReconfigTime = %v, want > 0", stats.ReconfigTime)
+	}
+}
+
+func TestRunRecordsWaitAndServiceSamples(t *testing.T) {
+	f, _ := newFramework(t)
+	// Two same-RP requests at time 0: the second queues behind the first's
+	// reconfiguration + compute, so its wait must be positive.
+	tr := workload.Trace{
+		{At: 0, RP: "RP1", ASP: "fir128"},
+		{At: 0, RP: "RP1", ASP: "sha3"},
+	}
+	stats, err := f.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.QueueWaitUS.N() != 2 || stats.ServiceUS.N() != 2 {
+		t.Fatalf("sample counts = %d/%d, want 2/2", stats.QueueWaitUS.N(), stats.ServiceUS.N())
+	}
+	if stats.QueueWaitUS.Max() <= 0 {
+		t.Error("second request should have waited behind the first")
+	}
+	if stats.ServiceUS.Min() <= 0 {
+		t.Error("service time must be positive")
+	}
+	if p99 := stats.ServiceUS.Percentile(99); p99 < stats.ServiceUS.Percentile(50) {
+		t.Errorf("p99 %v below p50 %v", p99, stats.ServiceUS.Percentile(50))
 	}
 }

@@ -1,0 +1,385 @@
+package hll
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ServiceConfig parameterises the reconfiguration service.
+type ServiceConfig struct {
+	// Policy picks the next dispatch among queued requests on free
+	// partitions (nil = FCFS).
+	Policy sched.Policy
+	// CacheBudgetBytes bounds the DRAM-resident bitstream cache: < 0 is
+	// unlimited, 0 disables caching entirely (the no-cache ablation — every
+	// reconfiguration re-stages its image from the backing store).
+	CacheBudgetBytes int64
+	// QueueCap is the per-RP admission-control depth; ≤ 0 is unbounded.
+	QueueCap int
+	// StageBytesPerSec is the backing-store rate a cache miss pays to stage
+	// the image into DRAM (the platform profile's SD-card rate in the
+	// scenarios); 0 makes staging free.
+	StageBytesPerSec float64
+	// PrewarmASPs stages the listed ASPs' images for every partition into
+	// the cache before the stream starts — the steady-state residency a
+	// long-running deployment has. The staging time is paid before the
+	// measurement window opens; a disabled cache ignores it (the no-cache
+	// ablation pays full staging on every reconfiguration by design).
+	PrewarmASPs []string
+}
+
+// TenantStats is one traffic source's view of a service run. Every offered
+// request ends in exactly one of Completed, Shed or Failed.
+type TenantStats struct {
+	Offered, Completed, Shed, Failed, DeadlineMisses int
+}
+
+// ServiceStats extends the framework statistics with the open-loop service
+// metrics: admission-control outcomes, sojourn tail latency, deadline
+// misses, cache behaviour and staging cost.
+type ServiceStats struct {
+	Stats
+	// Offered counts arrivals; Admitted the ones admission control let in;
+	// Shed the rejected ones; Completed the ones that finished compute.
+	Offered, Admitted, Shed, Completed int
+	// DeadlineMisses counts completions past their request deadline.
+	DeadlineMisses int
+	// SojournUS samples arrival→completion latency in microseconds — the
+	// end-to-end latency whose p99 the saturation sweep watches.
+	SojournUS sim.Sample
+	// Cache summarises the bitstream cache; StageTime is the total
+	// simulated time spent staging images from the backing store.
+	Cache     sched.CacheStats
+	StageTime sim.Duration
+	// Tenants breaks the run down per traffic source.
+	Tenants map[string]*TenantStats
+}
+
+// TenantNames returns the tenants seen, sorted for stable rendering.
+func (s *ServiceStats) TenantNames() []string {
+	names := make([]string, 0, len(s.Tenants))
+	for n := range s.Tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Service is the Fig.-1 framework run as an open-loop reconfiguration
+// service: arrivals are admitted into per-RP queues as simulated time
+// passes, resident-hit requests compute concurrently on their partitions,
+// and reconfigurations serialise on the single physical ICAP (guarded by
+// Port.BusyUntil), ordered by the dispatch policy. At each dispatch
+// instant every eligible resident hit starts before the ICAP is occupied;
+// requests arriving while a staging or transfer is in flight wait for the
+// dispatcher to come back around (the PS runs one dispatch loop).
+type Service struct {
+	eng    *engine
+	cfg    ServiceConfig
+	policy sched.Policy
+	queues map[string]*sched.Queue
+
+	stats ServiceStats
+	done  int
+}
+
+// NewService builds the service on a platform-backed controller.
+func NewService(ctrl *core.Controller, cfg ServiceConfig) *Service {
+	policy := cfg.Policy
+	if policy == nil {
+		policy = sched.FCFS()
+	}
+	s := &Service{
+		eng:    newEngine(ctrl, cfg.CacheBudgetBytes, cfg.StageBytesPerSec),
+		cfg:    cfg,
+		policy: policy,
+		queues: make(map[string]*sched.Queue),
+	}
+	s.stats.Tenants = make(map[string]*TenantStats)
+	for _, name := range s.eng.order {
+		s.queues[name] = sched.NewQueue(cfg.QueueCap)
+	}
+	return s
+}
+
+// Stats returns the accumulated statistics.
+func (s *Service) Stats() ServiceStats { return s.stats }
+
+// Policy returns the active dispatch policy.
+func (s *Service) Policy() sched.Policy { return s.policy }
+
+// tenant returns the per-tenant accumulator.
+func (s *Service) tenant(name string) *TenantStats {
+	t, ok := s.stats.Tenants[name]
+	if !ok {
+		t = &TenantStats{}
+		s.stats.Tenants[name] = t
+	}
+	return t
+}
+
+// Serve runs the whole arrival stream to completion and returns the
+// accumulated statistics. The trace must be time-ordered and reference
+// known RPs and ASPs (validated up front — an open-loop service checks
+// requests at the door, not mid-flight).
+func (s *Service) Serve(tr workload.Trace) (ServiceStats, error) {
+	if err := s.validate(tr); err != nil {
+		return s.stats, fmt.Errorf("hll: service: %w", err)
+	}
+	if err := s.prewarm(); err != nil {
+		return s.stats, fmt.Errorf("hll: service: prewarm: %w", err)
+	}
+	// Snapshot staging/cache state so the reported statistics cover the
+	// measurement window only, not the prewarm.
+	stage0 := s.eng.stageTime
+	cache0 := s.eng.cache.Stats()
+	p := s.eng.ctrl.Platform()
+	k := p.Kernel
+	start := k.Now()
+	s.done = 0
+	n := len(tr)
+
+	next := 0 // next arrival to admit
+	for s.done < n {
+		now := k.Now()
+		for next < n && start.Add(tr[next].At) <= now {
+			s.admit(tr[next], start)
+			next++
+		}
+		served, err := s.dispatchOne(now)
+		if err != nil {
+			s.finish(start, stage0, cache0)
+			return s.stats, fmt.Errorf("hll: service: %w", err)
+		}
+		if served {
+			continue
+		}
+		// Nothing dispatchable: advance to the next arrival or the next
+		// compute completion, whichever comes first.
+		wake := sim.Never
+		if next < n {
+			wake = start.Add(tr[next].At)
+		}
+		for _, name := range s.eng.order {
+			if bu := s.eng.rps[name].busyUntil; bu > now && bu < wake {
+				wake = bu
+			}
+		}
+		if wake == sim.Never {
+			return s.stats, fmt.Errorf("hll: service stalled with %d/%d requests outstanding", n-s.done, n)
+		}
+		k.RunUntil(wake)
+	}
+
+	s.finish(start, stage0, cache0)
+	return s.stats, nil
+}
+
+// finish closes the measurement window: makespan, and staging/cache deltas
+// relative to the pre-stream snapshot.
+func (s *Service) finish(start sim.Time, stage0 sim.Duration, cache0 sched.CacheStats) {
+	k := s.eng.ctrl.Platform().Kernel
+	s.stats.Makespan = k.Now().Sub(start)
+	s.stats.StageTime += s.eng.stageTime - stage0
+	cs := s.eng.cache.Stats()
+	s.stats.Cache.Hits += cs.Hits - cache0.Hits
+	s.stats.Cache.Misses += cs.Misses - cache0.Misses
+	s.stats.Cache.Evictions += cs.Evictions - cache0.Evictions
+	s.stats.Cache.ResidentBytes = cs.ResidentBytes
+	s.stats.Cache.PeakBytes = cs.PeakBytes
+}
+
+// prewarm stages the configured working set into the cache ahead of the
+// measurement window (no ICAP transfers — images land in DRAM only).
+func (s *Service) prewarm() error {
+	if !s.eng.cache.Enabled() {
+		return nil
+	}
+	for _, name := range s.cfg.PrewarmASPs {
+		asp, err := workload.LibraryASP(name)
+		if err != nil {
+			return err
+		}
+		for _, rp := range s.eng.order {
+			if _, err := s.eng.acquire(asp, s.eng.rps[rp]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// validate checks the stream before any simulated time passes: the
+// standard trace invariants against this platform's partitions and the
+// ASP library.
+func (s *Service) validate(tr workload.Trace) error {
+	asps := workload.Library()
+	names := make([]string, len(asps))
+	for i, a := range asps {
+		names[i] = a.Name
+	}
+	return tr.Validate(s.eng.order, names)
+}
+
+// admit runs admission control for one arrival.
+func (s *Service) admit(req workload.Request, start sim.Time) {
+	at := start.Add(req.At)
+	it := &sched.Item{
+		Seq:    s.stats.Offered,
+		At:     at,
+		RP:     req.RP,
+		ASP:    req.ASP,
+		Tenant: req.Tenant,
+	}
+	if req.Deadline > 0 {
+		it.Deadline = at.Add(req.Deadline)
+	}
+	s.stats.Offered++
+	t := s.tenant(req.Tenant)
+	t.Offered++
+	if s.queues[req.RP].Offer(it) {
+		s.stats.Admitted++
+	} else {
+		s.stats.Shed++
+		t.Shed++
+		s.done++
+	}
+}
+
+// rpCandidates builds the policy view of one free partition's queue.
+func (s *Service) rpCandidates(name string, cands []sched.Candidate) []sched.Candidate {
+	st := s.eng.rps[name]
+	for _, it := range s.queues[name].Items() {
+		cands = append(cands, sched.Candidate{
+			Item:       it,
+			Resident:   st.resident == it.ASP,
+			Cached:     s.eng.cache.Contains(it.ASP + "@" + name),
+			ImageBytes: st.imageBytes,
+		})
+	}
+	return cands
+}
+
+// dispatchOne serves queued work at the current instant. Resident hits
+// cost no ICAP time, so every free partition whose policy-chosen next
+// request is a hit starts it immediately — they must not wait behind a
+// reconfiguration's staging and transfer. Then at most one reconfiguration
+// (the policy's pick across all free partitions) occupies the single
+// physical ICAP; it advances simulated time synchronously. Reports whether
+// anything was dispatched.
+func (s *Service) dispatchOne(now sim.Time) (bool, error) {
+	served := false
+	var cands []sched.Candidate
+	// Phase 1: each free partition whose policy-chosen next request is a
+	// resident hit starts it (the hit occupies the partition's compute, so
+	// at most one per RP per instant).
+	for _, name := range s.eng.order {
+		st := s.eng.rps[name]
+		if st.busyUntil > now || s.queues[name].Len() == 0 {
+			continue
+		}
+		cands = s.rpCandidates(name, cands[:0])
+		pick := s.policy.Pick(cands)
+		if !cands[pick].Resident {
+			continue
+		}
+		if err := s.serveItem(s.queues[name].Remove(pick), st, now); err != nil {
+			return served, err
+		}
+		served = true
+	}
+	// Phase 2: one reconfiguration via the global policy pick.
+	type slot struct {
+		rp string
+		qi int
+	}
+	var slots []slot
+	cands = cands[:0]
+	for _, name := range s.eng.order {
+		if s.eng.rps[name].busyUntil > now {
+			continue // partition computing
+		}
+		base := len(cands)
+		cands = s.rpCandidates(name, cands)
+		for qi := 0; qi < len(cands)-base; qi++ {
+			slots = append(slots, slot{rp: name, qi: qi})
+		}
+	}
+	if len(cands) == 0 {
+		return served, nil
+	}
+	pick := s.policy.Pick(cands)
+	it := s.queues[slots[pick].rp].Remove(slots[pick].qi)
+	if err := s.serveItem(it, s.eng.rps[slots[pick].rp], now); err != nil {
+		return served, err
+	}
+	return true, nil
+}
+
+// serveItem dispatches one admitted request: reconfigure through the
+// single ICAP if the ASP is not resident, then start its compute. Compute
+// runs concurrently across partitions (a kernel event completes it);
+// reconfigurations serialise on the configuration port.
+func (s *Service) serveItem(it *sched.Item, st *rpState, now sim.Time) error {
+	p := s.eng.ctrl.Platform()
+	k := p.Kernel
+	asp, err := workload.LibraryASP(it.ASP) // validated at the door
+	if err != nil {
+		return err
+	}
+	s.stats.Requests++
+	s.stats.QueueWaitUS.Add(now.Sub(it.At).Microseconds())
+	dispatch := now
+
+	if st.resident != asp.Name {
+		// The single physical ICAP arbitrates reconfigurations: wait out
+		// any word-pipe occupancy before starting the next transfer.
+		if bu := p.ICAP.BusyUntil(); bu > k.Now() {
+			k.RunUntil(bu)
+		}
+		bs, err := s.eng.acquire(asp, st) // may stage from backing store
+		if err != nil {
+			return err
+		}
+		ok, err := s.eng.loadASP(&s.stats.Stats, st, asp, bs)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			// CRC rejected the image: the request is dropped (visible in
+			// Failures and the tenant's Failed), the partition left empty.
+			s.tenant(it.Tenant).Failed++
+			s.done++
+			return nil
+		}
+	} else {
+		s.stats.Hits++
+	}
+
+	gen := s.eng.traffic[st.region.Name]
+	gen.SetRate(asp.MemBandwidthMBs)
+	gen.Start()
+	end := k.Now().Add(asp.ComputeTime)
+	st.busyUntil = end
+	k.At(end, func() {
+		gen.Stop()
+		st.busyUntil = 0
+		s.stats.ComputeTime += asp.ComputeTime
+		s.stats.Completed++
+		s.done++
+		s.stats.ServiceUS.Add(end.Sub(dispatch).Microseconds())
+		s.stats.SojournUS.Add(end.Sub(it.At).Microseconds())
+		t := s.tenant(it.Tenant)
+		t.Completed++
+		if it.Deadline > 0 && end > it.Deadline {
+			s.stats.DeadlineMisses++
+			t.DeadlineMisses++
+		}
+	})
+	return nil
+}

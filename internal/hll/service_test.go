@@ -1,0 +1,290 @@
+package hll
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/zynq"
+)
+
+func newServiceController(t *testing.T) *core.Controller {
+	t.Helper()
+	p, err := zynq.NewPlatform(zynq.Options{Seed: 9, FastThermal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ConfigureStatic()
+	c := core.New(p)
+	if _, err := c.SetFrequencyMHz(200); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mustTrace(t *testing.T) func(workload.Trace, error) workload.Trace {
+	t.Helper()
+	return func(tr workload.Trace, err error) workload.Trace {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+}
+
+func TestServeCompletesEveryAdmittedRequest(t *testing.T) {
+	c := newServiceController(t)
+	s := NewService(c, ServiceConfig{CacheBudgetBytes: -1})
+	tr := mustTrace(t)(workload.OpenPoisson(5, 40, 300,
+		[]string{"RP1", "RP2", "RP3", "RP4"}, []string{"fir128", "sha3", "aes-gcm"}))
+	stats, err := s.Serve(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Offered != 40 || stats.Admitted != 40 || stats.Shed != 0 {
+		t.Errorf("offered/admitted/shed = %d/%d/%d", stats.Offered, stats.Admitted, stats.Shed)
+	}
+	if stats.Completed+stats.Failures != 40 {
+		t.Errorf("completed %d + failures %d ≠ 40", stats.Completed, stats.Failures)
+	}
+	if stats.SojournUS.N() != stats.Completed {
+		t.Errorf("sojourn samples %d ≠ completed %d", stats.SojournUS.N(), stats.Completed)
+	}
+	if stats.Makespan <= 0 {
+		t.Error("makespan must be positive")
+	}
+}
+
+func TestServeOverlapsComputeAcrossRPs(t *testing.T) {
+	// Two resident-hit computes on different RPs must overlap: serve the
+	// same ASP twice per RP (second requests are hits), and check the
+	// makespan beats the closed-loop replayer on the same trace.
+	run := func(open bool) sim.Duration {
+		c := newServiceController(t)
+		tr := workload.Trace{
+			{At: 0, RP: "RP1", ASP: "matmul8"},
+			{At: 0, RP: "RP2", ASP: "matmul8"},
+			{At: 0, RP: "RP1", ASP: "matmul8"},
+			{At: 0, RP: "RP2", ASP: "matmul8"},
+		}
+		if open {
+			stats, err := NewService(c, ServiceConfig{CacheBudgetBytes: -1}).Serve(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return stats.Makespan
+		}
+		stats, err := New(c).Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Makespan
+	}
+	closed, opened := run(false), run(true)
+	if opened >= closed {
+		t.Errorf("service makespan %v should beat closed-loop %v (concurrent compute)", opened, closed)
+	}
+}
+
+func TestServeShedsUnderQueueCap(t *testing.T) {
+	c := newServiceController(t)
+	s := NewService(c, ServiceConfig{CacheBudgetBytes: -1, QueueCap: 2})
+	// A burst of simultaneous same-RP requests: 2 queue, the rest shed
+	// (minus the one dispatched immediately).
+	tr := workload.Trace{}
+	for i := 0; i < 8; i++ {
+		tr = append(tr, workload.Request{At: 0, RP: "RP1", ASP: "fir128"})
+	}
+	stats, err := s.Serve(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shed == 0 {
+		t.Error("queue cap 2 must shed part of an 8-deep burst")
+	}
+	if stats.Offered != 8 || stats.Admitted+stats.Shed != 8 {
+		t.Errorf("admission accounting broken: %+v", stats)
+	}
+	if stats.Completed != stats.Admitted {
+		t.Errorf("completed %d ≠ admitted %d", stats.Completed, stats.Admitted)
+	}
+}
+
+func TestServeCountsDeadlineMissesAndTenants(t *testing.T) {
+	c := newServiceController(t)
+	s := NewService(c, ServiceConfig{CacheBudgetBytes: -1})
+	spec := workload.ArrivalSpec{
+		RatePerSec: 2000, // well past one RP's reconfig capacity
+		Tenants:    []string{"alpha", "beta"},
+		Deadline:   500 * sim.Microsecond,
+	}
+	tr := mustTrace(t)(spec.Generate(7, 30, []string{"RP1"}, []string{"fir128", "sha3"}))
+	stats, err := s.Serve(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeadlineMisses == 0 {
+		t.Error("an overloaded RP must miss 500 µs deadlines")
+	}
+	if len(stats.Tenants) != 2 {
+		t.Fatalf("tenants = %v", stats.TenantNames())
+	}
+	var offered, settled int
+	for _, name := range stats.TenantNames() {
+		ts := stats.Tenants[name]
+		offered += ts.Offered
+		settled += ts.Completed + ts.Shed + ts.Failed
+	}
+	if offered != 30 {
+		t.Errorf("per-tenant offered sums to %d, want 30", offered)
+	}
+	if settled != offered {
+		t.Errorf("per-tenant outcomes sum to %d, want %d (every request settles exactly once)", settled, offered)
+	}
+}
+
+func TestServeCacheBudgetForcesStaging(t *testing.T) {
+	// With a budget of one image and staging priced at the SD rate, every
+	// swap between two ASPs on one RP re-stages; unlimited cache stages
+	// each image once.
+	run := func(budget int64) ServiceStats {
+		c := newServiceController(t)
+		s := NewService(c, ServiceConfig{
+			CacheBudgetBytes: budget,
+			StageBytesPerSec: 20e6,
+		})
+		tr := workload.Trace{}
+		for i := 0; i < 6; i++ {
+			asp := "fir128"
+			if i%2 == 1 {
+				asp = "sha3"
+			}
+			tr = append(tr, workload.Request{At: sim.Duration(i) * 50 * sim.Millisecond, RP: "RP1", ASP: asp})
+		}
+		stats, err := s.Serve(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	one := run(600_000) // holds one 528,760-byte image
+	all := run(-1)
+	if one.Cache.Evictions == 0 {
+		t.Error("one-image budget must evict on every swap")
+	}
+	if all.Cache.Evictions != 0 {
+		t.Errorf("unlimited cache evicted %d times", all.Cache.Evictions)
+	}
+	if one.StageTime <= all.StageTime {
+		t.Errorf("thrashing cache should stage longer: %v vs %v", one.StageTime, all.StageTime)
+	}
+	if all.Cache.Hits == 0 {
+		t.Error("unlimited cache must hit on repeats")
+	}
+}
+
+func TestServeNoCacheAblationStagesEveryReconfig(t *testing.T) {
+	c := newServiceController(t)
+	s := NewService(c, ServiceConfig{CacheBudgetBytes: 0, StageBytesPerSec: 20e6})
+	tr := workload.Trace{
+		{At: 0, RP: "RP1", ASP: "fir128"},
+		{At: 100 * sim.Millisecond, RP: "RP1", ASP: "fir128"}, // resident hit: no restage
+		{At: 200 * sim.Millisecond, RP: "RP1", ASP: "sha3"},
+		{At: 300 * sim.Millisecond, RP: "RP1", ASP: "fir128"},
+	}
+	stats, err := s.Serve(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache.Hits != 0 {
+		t.Errorf("disabled cache hit %d times", stats.Cache.Hits)
+	}
+	if stats.Reconfigs != 3 || stats.Hits != 1 {
+		t.Errorf("reconfigs/hits = %d/%d, want 3/1", stats.Reconfigs, stats.Hits)
+	}
+	// Every one of the 3 reconfigs staged 528,760 bytes at 20 MB/s.
+	wantStage := 3 * sim.FromSeconds(528760.0/20e6)
+	if stats.StageTime != wantStage {
+		t.Errorf("stage time %v, want %v", stats.StageTime, wantStage)
+	}
+}
+
+func TestAffinityPolicyBeatsFCFSOnHitRate(t *testing.T) {
+	// One RP, alternating arrivals for two ASPs in simultaneous pairs:
+	// affinity batches same-ASP requests (second of each pair is a hit),
+	// FCFS alternates and reconfigures every time.
+	trace := func() workload.Trace {
+		tr := workload.Trace{}
+		for i := 0; i < 6; i++ {
+			tr = append(tr, workload.Request{At: 0, RP: "RP1", ASP: "fir128"})
+			tr = append(tr, workload.Request{At: 0, RP: "RP1", ASP: "sha3"})
+		}
+		return tr
+	}
+	run := func(p sched.Policy) ServiceStats {
+		c := newServiceController(t)
+		s := NewService(c, ServiceConfig{Policy: p, CacheBudgetBytes: -1})
+		stats, err := s.Serve(trace())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	fcfs := run(sched.FCFS())
+	aff := run(sched.Affinity())
+	if aff.Hits <= fcfs.Hits {
+		t.Errorf("affinity hits %d should beat FCFS %d", aff.Hits, fcfs.Hits)
+	}
+	if aff.ReconfigTime >= fcfs.ReconfigTime {
+		t.Errorf("affinity reconfig time %v should beat FCFS %v", aff.ReconfigTime, fcfs.ReconfigTime)
+	}
+}
+
+func TestServeDeterministic(t *testing.T) {
+	run := func() (ServiceStats, uint64) {
+		c := newServiceController(t)
+		s := NewService(c, ServiceConfig{
+			Policy:           sched.SBF(),
+			CacheBudgetBytes: 2 * 528760,
+			QueueCap:         8,
+			StageBytesPerSec: 20e6,
+		})
+		tr := mustTrace(t)(workload.OpenBursts(21, 48, 800, 4, 6,
+			[]string{"RP1", "RP2", "RP3", "RP4"}, []string{"fir128", "sha3", "aes-gcm", "fft1k"}))
+		stats, err := s.Serve(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats, c.Platform().Kernel.Fired()
+	}
+	s1, f1 := run()
+	s2, f2 := run()
+	if f1 != f2 {
+		t.Errorf("event counts differ: %d vs %d", f1, f2)
+	}
+	if s1.Completed != s2.Completed || s1.Shed != s2.Shed || s1.Reconfigs != s2.Reconfigs ||
+		s1.Makespan != s2.Makespan || s1.StageTime != s2.StageTime ||
+		s1.SojournUS.Percentile(99) != s2.SojournUS.Percentile(99) {
+		t.Errorf("service runs diverge:\n%+v\nvs\n%+v", s1, s2)
+	}
+}
+
+func TestServeValidatesAtTheDoor(t *testing.T) {
+	c := newServiceController(t)
+	s := NewService(c, ServiceConfig{})
+	if _, err := s.Serve(workload.Trace{{RP: "RP9", ASP: "fir128"}}); err == nil {
+		t.Error("unknown RP must fail")
+	}
+	if _, err := s.Serve(workload.Trace{{RP: "RP1", ASP: "ghost"}}); err == nil {
+		t.Error("unknown ASP must fail")
+	}
+	out := workload.Trace{
+		{At: 2 * sim.Millisecond, RP: "RP1", ASP: "fir128"},
+		{At: 1 * sim.Millisecond, RP: "RP1", ASP: "fir128"},
+	}
+	if _, err := s.Serve(out); err == nil {
+		t.Error("out-of-order stream must fail")
+	}
+}

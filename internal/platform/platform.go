@@ -137,6 +137,8 @@ func (p *Profile) Validate() error {
 		return fmt.Errorf("platform: %s: RP span %d exceeds %d tiles", p.Name, p.Fabric.RPTiles, p.Fabric.Tiles)
 	case p.DRAM.PortBytesPerSec <= 0:
 		return fmt.Errorf("platform: %s: non-positive HP-port rate", p.Name)
+	case p.DRAM.SizeBytes <= 0:
+		return fmt.Errorf("platform: %s: non-positive DRAM size", p.Name)
 	case p.AXI.CDCSyncCycles <= 0 || p.AXI.LiteWriteLatency <= 0 || p.AXI.LiteReadLatency <= 0:
 		return fmt.Errorf("platform: %s: non-positive AXI cost", p.Name)
 	case p.Clock.RefClock <= 0 || p.Clock.NominalMHz <= 0 || p.Clock.LockTime <= 0:
@@ -205,6 +207,13 @@ func (p *Profile) AnalyticBurstUS() float64 {
 	}
 	return math.Round(slot*1e5) / 1e5
 }
+
+// BitstreamCacheBytes is the DRAM budget the reconfiguration service may
+// pin for partial-bitstream images: 2% of system memory. On every
+// registered board that comfortably holds the standard library's working
+// set (ASPs × RPs); eviction pressure appears only when a deployment pins
+// less, which the scheduling scenario (E12) sweeps explicitly.
+func (p *Profile) BitstreamCacheBytes() int64 { return p.DRAM.SizeBytes / 50 }
 
 // MemoryPlateauMBs predicts the memory-side throughput ceiling at the given
 // over-clock frequency: one BurstBytes burst per (port slot + CDC

@@ -41,6 +41,7 @@ func zedboard() *Profile {
 			// interconnect arbitration; DDR3 tREFI and effective per-refresh
 			// stall derate it to ≈813 MB/s.
 			PortBytesPerSec: 824e6,
+			SizeBytes:       512 << 20, // 512 MB DDR3
 			RefreshInterval: sim.FromMicroseconds(7.8),
 			RefreshStall:    97 * sim.Nanosecond,
 		},
@@ -135,6 +136,7 @@ func zyboZ710() *Profile {
 		RPTiles: 2, // 26 columns, 872 frames, 352,616-byte image
 	}
 	p.DRAM.PortBytesPerSec = 560e6 // narrower effective HP path
+	p.DRAM.SizeBytes = 1 << 30     // 1 GB DDR3L
 	p.Timing.Control = timing.Path{Delay40: sim.FromNanoseconds(1e3 / 290.0), TempCoeff: 2.8e-4, VoltCoeff: 0.45}
 	p.Timing.Data = timing.Path{Delay40: sim.FromNanoseconds(1e3 / 305.0), TempCoeff: 2.8e-4, VoltCoeff: 0.45}
 	p.Power.DynPerMHz = 1.1e-3
@@ -166,6 +168,7 @@ func zc706() *Profile {
 		RPTiles: 3, // same 1308-frame RPs as the ZedBoard
 	}
 	p.DRAM.PortBytesPerSec = 1000e6
+	p.DRAM.SizeBytes = 1 << 30             // 1 GB DDR3 SODIMM
 	p.Clock.Limits.VCOMax = 1440 * sim.MHz // -2 speed grade
 	p.Timing.Control = timing.Path{Delay40: sim.FromNanoseconds(1e3 / 335.0), TempCoeff: 2.8e-4, VoltCoeff: 0.45}
 	p.Timing.Data = timing.Path{Delay40: sim.FromNanoseconds(1e3 / 350.0), TempCoeff: 2.8e-4, VoltCoeff: 0.45}

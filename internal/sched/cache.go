@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"repro/internal/bitstream"
+)
+
+// Cache is the DRAM-resident bitstream cache: built images are pinned in
+// system memory so a later reconfiguration streams them straight through
+// the DMA→ICAP path instead of re-staging them from the backing store.
+// Eviction is LRU under a byte budget (a service cannot pin unbounded DRAM
+// — the budget is derived from the platform profile's memory size).
+//
+// A zero/nil-safe disabled mode (budget 0) models the no-cache ablation:
+// every Get misses and every Put is dropped, so each reconfiguration pays
+// the full staging cost.
+type Cache struct {
+	budget   int64          // <0 unlimited, 0 disabled
+	entries  map[string]int // key → index into order
+	order    []*cacheEntry  // LRU order: order[0] is coldest
+	resident int64
+
+	stats CacheStats
+}
+
+type cacheEntry struct {
+	key   string
+	bs    *bitstream.Bitstream
+	bytes int64
+}
+
+// CacheStats summarises cache behaviour over a run.
+type CacheStats struct {
+	// Hits and Misses count Get outcomes.
+	Hits, Misses int
+	// Evictions counts images dropped to make room under the budget.
+	Evictions int
+	// ResidentBytes and PeakBytes track DRAM occupancy.
+	ResidentBytes, PeakBytes int64
+}
+
+// NewCache builds a cache with the given byte budget: < 0 is unlimited,
+// 0 disables caching entirely (the ablation mode).
+func NewCache(budgetBytes int64) *Cache {
+	return &Cache{budget: budgetBytes, entries: make(map[string]int)}
+}
+
+// Enabled reports whether the cache stores anything at all.
+func (c *Cache) Enabled() bool { return c.budget != 0 }
+
+// Budget returns the configured byte budget (<0 unlimited, 0 disabled).
+func (c *Cache) Budget() int64 { return c.budget }
+
+// Get looks the key up, refreshing its LRU position on a hit.
+func (c *Cache) Get(key string) (*bitstream.Bitstream, bool) {
+	idx, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.touch(idx)
+	return c.order[len(c.order)-1].bs, true
+}
+
+// Contains reports residency without counting a Get or refreshing LRU —
+// the read-only view dispatch policies use.
+func (c *Cache) Contains(key string) bool {
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Put stages the image, evicting least-recently-used entries until the
+// budget holds. An image larger than the whole budget is dropped (it still
+// serves the current load from its staging buffer, it just cannot stay).
+func (c *Cache) Put(key string, bs *bitstream.Bitstream) {
+	if c.budget == 0 {
+		return
+	}
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	size := int64(bs.Size())
+	if c.budget > 0 {
+		if size > c.budget {
+			return
+		}
+		for c.resident+size > c.budget && len(c.order) > 0 {
+			c.evictColdest()
+		}
+	}
+	c.entries[key] = len(c.order)
+	c.order = append(c.order, &cacheEntry{key: key, bs: bs, bytes: size})
+	c.resident += size
+	c.stats.ResidentBytes = c.resident
+	if c.resident > c.stats.PeakBytes {
+		c.stats.PeakBytes = c.resident
+	}
+}
+
+// Stats returns the accumulated statistics.
+func (c *Cache) Stats() CacheStats {
+	s := c.stats
+	s.ResidentBytes = c.resident
+	return s
+}
+
+// touch moves entry idx to the hottest position.
+func (c *Cache) touch(idx int) {
+	e := c.order[idx]
+	copy(c.order[idx:], c.order[idx+1:])
+	c.order[len(c.order)-1] = e
+	for i := idx; i < len(c.order); i++ {
+		c.entries[c.order[i].key] = i
+	}
+}
+
+// evictColdest drops the LRU entry.
+func (c *Cache) evictColdest() {
+	e := c.order[0]
+	copy(c.order, c.order[1:])
+	c.order = c.order[:len(c.order)-1]
+	delete(c.entries, e.key)
+	for i := range c.order {
+		c.entries[c.order[i].key] = i
+	}
+	c.resident -= e.bytes
+	c.stats.Evictions++
+}

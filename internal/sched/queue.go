@@ -1,0 +1,39 @@
+package sched
+
+// Queue is one partition's pending-request queue with admission control: a
+// bounded buffer that sheds load once Cap requests wait. Items keep their
+// arrival order; policies reorder at dispatch time, not at admission.
+// Shedding is reported through Offer's return value — the caller owns the
+// accounting (the service tracks global and per-tenant shed counts).
+type Queue struct {
+	cap   int
+	items []*Item
+}
+
+// NewQueue builds a queue. cap ≤ 0 means unbounded (no admission control).
+func NewQueue(cap int) *Queue { return &Queue{cap: cap} }
+
+// Offer admits the item, or rejects it (returning false) when the queue is
+// full — the admission-control decision a saturated service makes instead
+// of growing an unbounded backlog.
+func (q *Queue) Offer(it *Item) bool {
+	if q.cap > 0 && len(q.items) >= q.cap {
+		return false
+	}
+	q.items = append(q.items, it)
+	return true
+}
+
+// Len returns the number of waiting items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Items exposes the waiting items in admission order (callers must not
+// mutate the slice; Remove invalidates it).
+func (q *Queue) Items() []*Item { return q.items }
+
+// Remove takes the i-th waiting item out of the queue and returns it.
+func (q *Queue) Remove(i int) *Item {
+	it := q.items[i]
+	q.items = append(q.items[:i], q.items[i+1:]...)
+	return it
+}

@@ -1,0 +1,162 @@
+// Package sched holds the scheduling substrate of the reconfiguration
+// service: per-RP request queues with admission control, pluggable
+// dispatch policies arbitrating the single physical ICAP, and a
+// DRAM-resident bitstream cache with LRU eviction under a byte budget.
+//
+// The package is deliberately mechanism-only — it knows nothing about the
+// simulated hardware. The hll service engine owns the clock and the
+// controller; sched answers "which queued request goes next?" and "is this
+// image already staged in DRAM?". Everything here is deterministic: no
+// maps are iterated, no wall clock is read, so a schedule is a pure
+// function of the request stream.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Item is one queued reconfiguration request.
+type Item struct {
+	// Seq is the arrival sequence number (ties in At break by Seq, keeping
+	// every policy a strict total order).
+	Seq int
+	// At is the absolute simulated arrival time.
+	At sim.Time
+	// RP and ASP name the target partition and accelerator.
+	RP, ASP string
+	// Tenant attributes the request ("" = anonymous).
+	Tenant string
+	// Deadline is the absolute completion deadline (0 = none).
+	Deadline sim.Time
+}
+
+// Candidate is a dispatchable item with the residency facts a policy may
+// use: whether the ASP is already configured in the RP (no ICAP needed),
+// whether its image is already staged in DRAM, and how big the image is.
+type Candidate struct {
+	Item *Item
+	// Resident: the ASP is configured in the target RP — serving it costs
+	// no reconfiguration at all.
+	Resident bool
+	// Cached: the partial bitstream is DRAM-resident; a reconfiguration
+	// needs only the ICAP transfer, not the backing-store staging.
+	Cached bool
+	// ImageBytes is the partial bitstream size for the target RP.
+	ImageBytes int
+}
+
+// cost is the acquisition cost SBF ranks by: nothing for a resident hit,
+// the ICAP transfer for a cached image, and a staging multiple for an image
+// that must first be fetched from the backing store (the SD card is an
+// order of magnitude slower than the configuration port).
+func (c Candidate) cost() int {
+	switch {
+	case c.Resident:
+		return 0
+	case c.Cached:
+		return c.ImageBytes
+	default:
+		return c.ImageBytes * 10
+	}
+}
+
+// Policy picks which candidate the service dispatches next. Pick is called
+// with at least one candidate and must return a valid index; it must be
+// deterministic (same candidates, same answer).
+type Policy interface {
+	Name() string
+	Pick(cands []Candidate) int
+}
+
+// fcfs serves strictly in arrival order.
+type fcfs struct{}
+
+func (fcfs) Name() string { return "fcfs" }
+
+func (fcfs) Pick(cands []Candidate) int {
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if earlier(cands[i].Item, cands[best].Item) {
+			best = i
+		}
+	}
+	return best
+}
+
+// sbf is shortest-bitstream-first: rank by acquisition cost (resident hit <
+// cached image < image that must be staged, smaller images first), breaking
+// ties in arrival order. On a fabric with uniform RP cuts it degenerates to
+// cheapest-acquisition-first.
+type sbf struct{}
+
+func (sbf) Name() string { return "sbf" }
+
+func (sbf) Pick(cands []Candidate) int {
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		ci, cb := cands[i].cost(), cands[best].cost()
+		if ci < cb || (ci == cb && earlier(cands[i].Item, cands[best].Item)) {
+			best = i
+		}
+	}
+	return best
+}
+
+// affinity prefers requests whose ASP is already resident (they bypass the
+// ICAP entirely), then requests whose image is DRAM-cached, then FCFS — a
+// residency/cache-affinity policy that trades strict fairness for fewer
+// reconfigurations.
+type affinity struct{}
+
+func (affinity) Name() string { return "affinity" }
+
+func (affinity) Pick(cands []Candidate) int {
+	rank := func(c Candidate) int {
+		switch {
+		case c.Resident:
+			return 0
+		case c.Cached:
+			return 1
+		default:
+			return 2
+		}
+	}
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		ri, rb := rank(cands[i]), rank(cands[best])
+		if ri < rb || (ri == rb && earlier(cands[i].Item, cands[best].Item)) {
+			best = i
+		}
+	}
+	return best
+}
+
+func earlier(a, b *Item) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.Seq < b.Seq
+}
+
+// FCFS, SBF and Affinity are the built-in policies.
+func FCFS() Policy     { return fcfs{} }
+func SBF() Policy      { return sbf{} }
+func Affinity() Policy { return affinity{} }
+
+// PolicyNames lists the built-in policy names in presentation order.
+func PolicyNames() []string { return []string{"fcfs", "sbf", "affinity"} }
+
+// PolicyByName resolves a built-in policy.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "fcfs":
+		return fcfs{}, nil
+	case "sbf":
+		return sbf{}, nil
+	case "affinity":
+		return affinity{}, nil
+	}
+	return nil, fmt.Errorf("sched: unknown policy %q (want fcfs|sbf|affinity)", name)
+}

@@ -102,10 +102,11 @@ func (s *Sample) Percentile(p float64) float64 {
 	return s.values[rank-1]
 }
 
-// String summarises the sample for logs.
+// String summarises the sample for logs. Tail latency is first-class in the
+// service-layer reports, so the p99 rides along with the moments.
 func (s *Sample) String() string {
-	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",
-		s.N(), s.Mean(), s.StdDev(), s.Min(), s.Max())
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g p99=%.4g",
+		s.N(), s.Mean(), s.StdDev(), s.Min(), s.Max(), s.Percentile(99))
 }
 
 // Point is one (x, y) observation of a swept quantity, used by the

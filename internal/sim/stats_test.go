@@ -110,4 +110,7 @@ func TestSampleString(t *testing.T) {
 	if !strings.Contains(str, "n=2") || !strings.Contains(str, "mean=2") {
 		t.Errorf("String = %q", str)
 	}
+	if !strings.Contains(str, "p99=3") {
+		t.Errorf("String must surface the p99 tail: %q", str)
+	}
 }

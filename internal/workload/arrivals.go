@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// This file holds the open-loop side of the workload package: arrival
+// generators parameterised by an offered rate rather than a fixed request
+// gap. A trace replayer (hll.Framework) is closed-loop — the next request
+// waits for the previous one — but a reconfiguration *service* faces an
+// open stream whose arrivals do not care whether the ICAP is busy. These
+// generators feed the saturation and scheduling scenarios (E11/E12).
+
+// ArrivalSpec describes an open-loop arrival process.
+type ArrivalSpec struct {
+	// RatePerSec is the mean offered load in requests per second.
+	RatePerSec float64
+	// BurstFactor > 1 makes the stream bursty: requests inside a burst
+	// arrive at RatePerSec·BurstFactor, with idle gaps between bursts sized
+	// so the long-run mean stays RatePerSec. ≤ 1 means pure Poisson.
+	BurstFactor float64
+	// BurstLen is the number of requests per burst (ignored for Poisson).
+	BurstLen int
+	// Tenants attributes each request to a uniformly drawn tenant; empty
+	// means anonymous requests.
+	Tenants []string
+	// Deadline is the per-request latency budget (0 = none).
+	Deadline sim.Duration
+}
+
+// Generate produces n requests over the given RPs and ASPs. The trace is a
+// pure function of (spec, seed, n, rps, asps): identical inputs yield
+// byte-identical traces, which is what lets a sharded campaign replay them.
+func (sp ArrivalSpec) Generate(seed uint64, n int, rps, asps []string) (Trace, error) {
+	if sp.RatePerSec <= 0 {
+		return nil, fmt.Errorf("workload: non-positive arrival rate %v", sp.RatePerSec)
+	}
+	if len(rps) == 0 || len(asps) == 0 {
+		return nil, fmt.Errorf("workload: arrival generator needs RPs and ASPs")
+	}
+	rng := sim.NewRNG(seed)
+	meanGap := sim.FromSeconds(1 / sp.RatePerSec)
+	bursty := sp.BurstFactor > 1 && sp.BurstLen > 1
+	var intraGap, interGap sim.Duration
+	if bursty {
+		// A burst cycle (one inter-burst pause + BurstLen−1 intra-burst
+		// gaps) must span BurstLen·meanGap on average, so the long-run mean
+		// rate stays RatePerSec.
+		intraGap = sim.Duration(float64(meanGap) / sp.BurstFactor)
+		interGap = sim.Duration(float64(sp.BurstLen)*float64(meanGap) - float64(sp.BurstLen-1)*float64(intraGap))
+	}
+	tr := make(Trace, 0, n)
+	at := sim.Duration(0)
+	for i := 0; i < n; i++ {
+		switch {
+		case !bursty:
+			at += sim.Duration(float64(meanGap) * rng.ExpFloat64())
+		case i%sp.BurstLen == 0:
+			at += sim.Duration(float64(interGap) * rng.ExpFloat64())
+		default:
+			at += sim.Duration(float64(intraGap) * rng.ExpFloat64())
+		}
+		req := Request{
+			At:       at,
+			RP:       rps[rng.Intn(len(rps))],
+			ASP:      asps[rng.Intn(len(asps))],
+			Deadline: sp.Deadline,
+		}
+		if len(sp.Tenants) > 0 {
+			req.Tenant = sp.Tenants[rng.Intn(len(sp.Tenants))]
+		}
+		tr = append(tr, req)
+	}
+	return tr, nil
+}
+
+// OpenPoisson generates a rate-parameterised Poisson request stream — the
+// standard open-loop arrival model of the saturation sweep.
+func OpenPoisson(seed uint64, n int, ratePerSec float64, rps, asps []string) (Trace, error) {
+	return ArrivalSpec{RatePerSec: ratePerSec}.Generate(seed, n, rps, asps)
+}
+
+// OpenBursts generates a bursty stream: bursts of burstLen requests at
+// ratePerSec·burstFactor, paced so the long-run mean rate is ratePerSec.
+func OpenBursts(seed uint64, n int, ratePerSec, burstFactor float64, burstLen int, rps, asps []string) (Trace, error) {
+	return ArrivalSpec{
+		RatePerSec:  ratePerSec,
+		BurstFactor: burstFactor,
+		BurstLen:    burstLen,
+	}.Generate(seed, n, rps, asps)
+}

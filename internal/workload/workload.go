@@ -95,11 +95,18 @@ func (a ASP) Bitstream(dev *fabric.Device, rp fabric.Region) (*bitstream.Bitstre
 }
 
 // Request is one entry of a reconfiguration trace: at time At, partition RP
-// must run ASP (loading it first if not resident).
+// must run ASP (loading it first if not resident). The service-layer fields
+// are optional: a zero Tenant/Deadline request behaves exactly as before.
 type Request struct {
 	At  sim.Duration
 	RP  string
 	ASP string
+	// Tenant attributes the request to a traffic source (multi-tenant
+	// serving); "" is anonymous.
+	Tenant string
+	// Deadline is the latency budget relative to At (0 = none). The
+	// reconfiguration service counts completions past it as deadline misses.
+	Deadline sim.Duration
 }
 
 // Trace is an ordered request sequence.

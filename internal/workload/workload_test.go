@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/bitstream"
@@ -150,16 +151,133 @@ func TestRoundRobinTrace(t *testing.T) {
 }
 
 func TestTraceValidateCatchesBadRefs(t *testing.T) {
+	rps, asps := []string{"RP1"}, []string{"fir128"}
 	tr := Trace{{At: 1, RP: "RPX", ASP: "fir128"}}
-	if err := tr.Validate([]string{"RP1"}, []string{"fir128"}); err == nil {
+	err := tr.Validate(rps, asps)
+	if err == nil {
 		t.Error("unknown RP should fail")
+	} else if !strings.Contains(err.Error(), "RPX") || !strings.Contains(err.Error(), "request 0") {
+		t.Errorf("RP error should name the offender and index: %v", err)
 	}
-	tr = Trace{{At: 2, RP: "RP1", ASP: "zzz"}}
-	if err := tr.Validate([]string{"RP1"}, []string{"fir128"}); err == nil {
+	tr = Trace{{At: 1, RP: "RP1", ASP: "fir128"}, {At: 2, RP: "RP1", ASP: "zzz"}}
+	err = tr.Validate(rps, asps)
+	if err == nil {
 		t.Error("unknown ASP should fail")
+	} else if !strings.Contains(err.Error(), "zzz") || !strings.Contains(err.Error(), "request 1") {
+		t.Errorf("ASP error should name the offender and index: %v", err)
 	}
 	tr = Trace{{At: 5, RP: "RP1", ASP: "fir128"}, {At: 1, RP: "RP1", ASP: "fir128"}}
-	if err := tr.Validate([]string{"RP1"}, []string{"fir128"}); err == nil {
+	if err := tr.Validate(rps, asps); err == nil {
 		t.Error("out-of-order trace should fail")
+	}
+	if err := (Trace{}).Validate(rps, asps); err != nil {
+		t.Errorf("empty trace is valid: %v", err)
+	}
+}
+
+func TestRoundRobinTraceDeterministic(t *testing.T) {
+	rps := []string{"RP1", "RP2", "RP3"}
+	asps := []string{"fir128", "sha3"}
+	a := RoundRobinTrace(50, 100*sim.Microsecond, rps, asps)
+	b := RoundRobinTrace(50, 100*sim.Microsecond, rps, asps)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs across identical calls", i)
+		}
+	}
+}
+
+func TestOpenPoissonMeanRateConverges(t *testing.T) {
+	rps := []string{"RP1", "RP2"}
+	asps := []string{"fir128", "sha3"}
+	const rate = 500.0 // req/s
+	tr, err := OpenPoisson(11, 4000, rate, rps, asps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(rps, asps); err != nil {
+		t.Fatal(err)
+	}
+	measured := float64(len(tr)) / tr[len(tr)-1].At.Seconds()
+	if measured < 0.95*rate || measured > 1.05*rate {
+		t.Errorf("measured rate %.1f req/s, want %.0f ±5%%", measured, rate)
+	}
+	// Determinism under a fixed seed.
+	tr2, err := OpenPoisson(11, 4000, rate, rps, asps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr {
+		if tr[i] != tr2[i] {
+			t.Fatalf("request %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestOpenBurstsMeanRateAndShape(t *testing.T) {
+	rps := []string{"RP1", "RP2"}
+	asps := []string{"fir128", "sha3"}
+	const rate, factor, blen = 400.0, 4.0, 8
+	tr, err := OpenBursts(13, 4000, rate, factor, blen, rps, asps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(rps, asps); err != nil {
+		t.Fatal(err)
+	}
+	measured := float64(len(tr)) / tr[len(tr)-1].At.Seconds()
+	if measured < 0.95*rate || measured > 1.05*rate {
+		t.Errorf("measured rate %.1f req/s, want %.0f ±5%%", measured, rate)
+	}
+	// Burstiness: gaps inside a burst are much shorter on average than the
+	// gaps between bursts.
+	var intra, inter float64
+	var nIntra, nInter int
+	for i := 1; i < len(tr); i++ {
+		gap := float64(tr[i].At - tr[i-1].At)
+		if i%blen == 0 {
+			inter += gap
+			nInter++
+		} else {
+			intra += gap
+			nIntra++
+		}
+	}
+	if intra/float64(nIntra) >= inter/float64(nInter) {
+		t.Error("intra-burst gaps should be shorter than inter-burst gaps")
+	}
+}
+
+func TestArrivalSpecTenantsAndDeadlines(t *testing.T) {
+	spec := ArrivalSpec{
+		RatePerSec: 100,
+		Tenants:    []string{"alpha", "beta"},
+		Deadline:   20 * sim.Millisecond,
+	}
+	tr, err := spec.Generate(3, 200, []string{"RP1"}, []string{"fir128"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, req := range tr {
+		seen[req.Tenant]++
+		if req.Deadline != 20*sim.Millisecond {
+			t.Fatalf("deadline not stamped: %+v", req)
+		}
+	}
+	if seen["alpha"] == 0 || seen["beta"] == 0 || seen[""] != 0 {
+		t.Errorf("tenant mix = %v, want both tenants and no anonymous", seen)
+	}
+}
+
+func TestArrivalSpecRejectsBadInputs(t *testing.T) {
+	if _, err := OpenPoisson(1, 10, 0, []string{"RP1"}, []string{"fir128"}); err == nil {
+		t.Error("zero rate should fail")
+	}
+	if _, err := OpenPoisson(1, 10, 100, nil, []string{"fir128"}); err == nil {
+		t.Error("no RPs should fail")
+	}
+	if _, err := OpenPoisson(1, 10, 100, []string{"RP1"}, nil); err == nil {
+		t.Error("no ASPs should fail")
 	}
 }

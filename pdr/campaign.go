@@ -73,6 +73,7 @@ type campaignConfig struct {
 	variant BoardVariant
 	freqs   []float64
 	temps   []float64
+	rates   []float64
 }
 
 // WithCampaignSeed fixes the deterministic seed (default 42, the suite's
@@ -109,6 +110,13 @@ func WithFrequencyGrid(freqsMHz ...float64) CampaignOption {
 // scenarios (E3, E4).
 func WithTemperatureGrid(tempsC ...float64) CampaignOption {
 	return func(c *campaignConfig) { c.temps = append([]float64(nil), tempsC...) }
+}
+
+// WithRateGrid overrides the offered-load axis (requests/s) of the
+// saturation scenario (E11). The shard plan reshapes with the grid —
+// deterministically, independent of worker count.
+func WithRateGrid(ratesPerSec ...float64) CampaignOption {
+	return func(c *campaignConfig) { c.rates = append([]float64(nil), ratesPerSec...) }
 }
 
 // Campaign runs a set of registered scenarios, sharded across a pool of
@@ -180,6 +188,7 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 		Seed:  c.cfg.seed,
 		Freqs: c.cfg.freqs,
 		Temps: c.cfg.temps,
+		Rates: c.cfg.rates,
 	}
 	if err := c.cfg.variant.apply(&ecfg); err != nil {
 		return nil, err

@@ -224,3 +224,27 @@ func TestScenariosListing(t *testing.T) {
 		}
 	}
 }
+
+func TestCampaignRateGridOverride(t *testing.T) {
+	res, err := pdr.NewCampaign(
+		pdr.WithCampaignSeed(42),
+		pdr.WithScenarios("E11"),
+		pdr.WithRateGrid(50, 400),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 rates → 1 segment × 3 boards.
+	if res.Units != 3 {
+		t.Errorf("units = %d, want 3", res.Units)
+	}
+	rep := res.Reports[0]
+	if rep.ID != "E11" || len(rep.Rows) != 12 {
+		t.Errorf("report %s has %d rows, want 12 (3 boards × 2 rates × 2 modes)", rep.ID, len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row[1] != "50" && row[1] != "400" {
+			t.Errorf("unexpected rate in row: %v", row)
+		}
+	}
+}

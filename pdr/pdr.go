@@ -30,6 +30,7 @@ import (
 	"repro/internal/hll"
 	"repro/internal/platform"
 	"repro/internal/power"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/srampdr"
 	"repro/internal/workload"
@@ -57,8 +58,16 @@ type (
 	ASP = workload.ASP
 	// Trace is a reconfiguration request sequence.
 	Trace = workload.Trace
+	// ArrivalSpec describes an open-loop arrival process (rate, bursts,
+	// tenants, deadlines).
+	ArrivalSpec = workload.ArrivalSpec
 	// FrameworkStats summarises a multi-RP accelerator run.
 	FrameworkStats = hll.Stats
+	// ServiceStats summarises an open-loop reconfiguration-service run
+	// (admission control, sojourn tail latency, cache behaviour).
+	ServiceStats = hll.ServiceStats
+	// TenantStats is one traffic source's view of a service run.
+	TenantStats = hll.TenantStats
 )
 
 // Option configures NewSystem.
@@ -284,14 +293,80 @@ func (s *System) PDRPowerW() float64 { return s.meter.ReadPDR() }
 // Framework builds the Fig.-1 multi-RP acceleration framework.
 func (s *System) Framework() *hll.Framework { return hll.New(s.Controller) }
 
-// PoissonTrace generates a random request trace over the standard RPs and
-// the named ASPs.
-func (s *System) PoissonTrace(seed uint64, n int, meanGapUS float64, asps []string) Trace {
+// rpNames lists the system's partition names in platform order.
+func (s *System) rpNames() []string {
 	rps := make([]string, 0, len(s.Platform().RPs))
 	for _, rp := range s.Platform().RPs {
 		rps = append(rps, rp.Name)
 	}
-	return workload.PoissonTrace(seed, n, sim.FromMicroseconds(meanGapUS), rps, asps)
+	return rps
+}
+
+// PoissonTrace generates a random request trace over the standard RPs and
+// the named ASPs.
+func (s *System) PoissonTrace(seed uint64, n int, meanGapUS float64, asps []string) Trace {
+	return workload.PoissonTrace(seed, n, sim.FromMicroseconds(meanGapUS), s.rpNames(), asps)
+}
+
+// OpenTrace generates an open-loop arrival stream over the system's RPs
+// from the spec (rate, burstiness, tenants, deadlines) — the input Serve
+// consumes.
+func (s *System) OpenTrace(spec ArrivalSpec, seed uint64, n int, asps []string) (Trace, error) {
+	return spec.Generate(seed, n, s.rpNames(), asps)
+}
+
+// Policies lists the dispatch policies Serve accepts.
+func Policies() []string { return sched.PolicyNames() }
+
+// ServeOptions configures System.Serve.
+type ServeOptions struct {
+	// Policy is the dispatch policy name ("fcfs" when empty; see Policies).
+	Policy string
+	// CacheBudgetBytes bounds the DRAM bitstream cache: 0 uses the platform
+	// profile's derived budget, < 0 disables the cache entirely (the
+	// no-cache ablation), > 0 is an explicit budget.
+	CacheBudgetBytes int64
+	// QueueCap is the per-RP admission-control depth (0 = 32).
+	QueueCap int
+	// Prewarm stages the listed ASPs' images for every RP before serving
+	// (steady-state residency). Ignored when the cache is disabled.
+	Prewarm []string
+}
+
+// Serve runs an open-loop request stream through the reconfiguration
+// service: per-RP queues with admission control, the chosen dispatch
+// policy arbitrating the single ICAP, and a DRAM bitstream cache staged
+// from the board's SD card at the profile rate. Each call serves on a
+// fresh service (empty queues, cold or prewarmed cache).
+func (s *System) Serve(tr Trace, o ServeOptions) (ServiceStats, error) {
+	policyName := o.Policy
+	if policyName == "" {
+		policyName = "fcfs"
+	}
+	policy, err := sched.PolicyByName(policyName)
+	if err != nil {
+		return ServiceStats{}, fmt.Errorf("pdr: %w", err)
+	}
+	prof := s.Platform().Profile
+	budget := o.CacheBudgetBytes
+	switch {
+	case budget == 0:
+		budget = prof.BitstreamCacheBytes()
+	case budget < 0:
+		budget = 0 // hll semantics: 0 disables
+	}
+	queueCap := o.QueueCap
+	if queueCap == 0 {
+		queueCap = 32
+	}
+	svc := hll.NewService(s.Controller, hll.ServiceConfig{
+		Policy:           policy,
+		CacheBudgetBytes: budget,
+		QueueCap:         queueCap,
+		StageBytesPerSec: prof.IO.SDBytesPerSec,
+		PrewarmASPs:      o.Prewarm,
+	})
+	return svc.Serve(tr)
 }
 
 // SRAMPipeline builds the Sec.-VI proposed reconfiguration environment

@@ -289,3 +289,72 @@ func TestPlatformsListing(t *testing.T) {
 		t.Errorf("zedboard-hot should be a variant: %+v", p)
 	}
 }
+
+func TestServeOpenLoop(t *testing.T) {
+	sys, err := pdr.NewSystem(pdr.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.SetFrequencyMHz(200); err != nil {
+		t.Fatal(err)
+	}
+	asps := []string{"fir128", "sha3"}
+	tr, err := sys.OpenTrace(pdr.ArrivalSpec{RatePerSec: 200, Tenants: []string{"a", "b"}}, 7, 24, asps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sys.Serve(tr, pdr.ServeOptions{Policy: "affinity", Prewarm: asps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Offered != 24 || stats.Completed+stats.Failures+stats.Shed != 24 {
+		t.Errorf("service accounting broken: %+v", stats)
+	}
+	if stats.SojournUS.N() == 0 || stats.SojournUS.Percentile(99) <= 0 {
+		t.Error("sojourn tail latency missing")
+	}
+	if len(stats.Tenants) != 2 {
+		t.Errorf("tenants = %v", stats.TenantNames())
+	}
+	if _, err := sys.Serve(tr, pdr.ServeOptions{Policy: "lifo"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestServeNoCacheAblationIsSlower(t *testing.T) {
+	run := func(budget int64) pdr.ServiceStats {
+		sys, err := pdr.NewSystem(pdr.WithSeed(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.SetFrequencyMHz(200); err != nil {
+			t.Fatal(err)
+		}
+		asps := []string{"fir128", "sha3", "aes-gcm"}
+		tr, err := sys.OpenTrace(pdr.ArrivalSpec{RatePerSec: 100}, 11, 24, asps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := sys.Serve(tr, pdr.ServeOptions{CacheBudgetBytes: budget, Prewarm: asps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	warm := run(0)     // profile budget
+	ablated := run(-1) // cache disabled
+	if ablated.SojournUS.Percentile(99) <= warm.SojournUS.Percentile(99) {
+		t.Errorf("no-cache p99 %.0f µs should exceed cached %.0f µs",
+			ablated.SojournUS.Percentile(99), warm.SojournUS.Percentile(99))
+	}
+	if ablated.StageTime <= warm.StageTime {
+		t.Errorf("ablation should stage more: %v vs %v", ablated.StageTime, warm.StageTime)
+	}
+}
+
+func TestPoliciesListing(t *testing.T) {
+	got := pdr.Policies()
+	if len(got) != 3 || got[0] != "fcfs" {
+		t.Errorf("Policies() = %v", got)
+	}
+}
