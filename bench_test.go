@@ -298,6 +298,52 @@ func BenchmarkSchedPolicies(b *testing.B) {
 	b.ReportMetric(worst/best, "p99-policy-spread")
 }
 
+// BenchmarkFleetSweep regenerates the scale-out scenario (E13): goodput and
+// p99 versus fleet size at a fixed offered load above the single-board
+// knee, homogeneous and mixed fleets, plus the autoscaled points. Metrics:
+// the homogeneous fleet's goodput at 1 and 8 boards and the scaling factor
+// between them (the scenario's headline).
+func BenchmarkFleetSweep(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = benchScenario(b, "E13")
+	}
+	series := map[string][]sim.Point{}
+	for _, s := range rep.Series {
+		series[s.Name] = s.Points
+	}
+	if pts := series["e13_zedboard_goodput"]; len(pts) > 1 {
+		first, last := pts[0], pts[len(pts)-1]
+		b.ReportMetric(first.Y, "goodput-1board-req/s")
+		b.ReportMetric(last.Y, "goodput-8boards-req/s")
+		if first.Y > 0 {
+			b.ReportMetric(last.Y/first.Y, "goodput-scaling")
+		}
+	}
+}
+
+// BenchmarkRoutingPolicies regenerates the routing scenario (E14). Metrics:
+// bitstream-affinity's cache hit ratio against round-robin's, and the p99
+// advantage, under skewed image popularity on cache-constrained boards.
+func BenchmarkRoutingPolicies(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = benchScenario(b, "E14")
+	}
+	series := map[string][]sim.Point{}
+	for _, s := range rep.Series {
+		series[s.Name] = s.Points
+	}
+	aff, rr := series["e14_affinity"], series["e14_round-robin"]
+	if len(aff) == 2 && len(rr) == 2 {
+		b.ReportMetric(100*aff[0].Y, "affinity-hit-%")
+		b.ReportMetric(100*rr[0].Y, "roundrobin-hit-%")
+		if aff[1].Y > 0 {
+			b.ReportMetric(rr[1].Y/aff[1].Y, "p99-advantage")
+		}
+	}
+}
+
 // --- substrate micro-benchmarks ---
 
 func benchFrames(n int) [][]uint32 {

@@ -11,20 +11,25 @@
 //	pdrbench -parallel 4          # shard the suite over 4 workers
 //	                              # (output is byte-identical to -parallel 1)
 //	pdrbench -parallel 0          # one worker per CPU
+//	pdrbench -fleet 1,2,4         # reshape the E13 fleet-size axis
+//	pdrbench -router affinity     # E13 routing policy
 //	pdrbench -json                # machine-readable reports
 //	pdrbench -md > EXPERIMENTS.md # regenerate the committed artefact file
 //	pdrbench -csv out/            # also write figure series as CSV files
 //	pdrbench -list                # show the registered scenarios + platforms
+//	pdrbench -list -json          # the registry as JSON (golden-tested)
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
@@ -40,6 +45,8 @@ type options struct {
 	mdOut    bool
 	list     bool
 	csvDir   string
+	fleet    string
+	router   string
 }
 
 func main() {
@@ -48,10 +55,12 @@ func main() {
 	flag.StringVar(&opts.platform, "platform", "", "platform profile to run on (default zedboard; see -list)")
 	flag.IntVar(&opts.parallel, "parallel", 1, "campaign workers (0 = one per CPU)")
 	flag.Uint64Var(&opts.seed, "seed", 42, "simulation seed")
-	flag.BoolVar(&opts.jsonOut, "json", false, "emit reports as JSON")
+	flag.BoolVar(&opts.jsonOut, "json", false, "emit reports as JSON (with -list: the scenario registry)")
 	flag.BoolVar(&opts.mdOut, "md", false, "emit the EXPERIMENTS.md document")
 	flag.BoolVar(&opts.list, "list", false, "list registered scenarios and exit")
 	flag.StringVar(&opts.csvDir, "csv", "", "directory to write figure CSV series into")
+	flag.StringVar(&opts.fleet, "fleet", "", "comma-separated fleet sizes for the scale-out scenario E13 (e.g. 1,2,4)")
+	flag.StringVar(&opts.router, "router", "", "routing policy for E13 (round-robin|least-outstanding|weighted|affinity)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -64,6 +73,9 @@ func main() {
 
 func realMain(ctx context.Context, w io.Writer, opts options) error {
 	if opts.list {
+		if opts.jsonOut {
+			return listScenariosJSON(w)
+		}
 		return listScenarios(w)
 	}
 	copts := []pdr.CampaignOption{
@@ -72,6 +84,36 @@ func realMain(ctx context.Context, w io.Writer, opts options) error {
 	}
 	if opts.platform != "" {
 		copts = append(copts, pdr.WithBoardVariant(pdr.BoardVariant(opts.platform)))
+	}
+	if opts.fleet != "" {
+		var sizes []int
+		for _, s := range strings.Split(opts.fleet, ",") {
+			if s = strings.TrimSpace(s); s == "" {
+				continue
+			}
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 1 {
+				return fmt.Errorf("invalid -fleet size %q (want positive integers)", s)
+			}
+			sizes = append(sizes, n)
+		}
+		if len(sizes) == 0 {
+			return fmt.Errorf("invalid -fleet %q (want positive integers, e.g. 1,2,4)", opts.fleet)
+		}
+		copts = append(copts, pdr.WithFleetGrid(sizes...))
+	}
+	if opts.router != "" {
+		valid := false
+		for _, name := range pdr.Routers() {
+			if name == opts.router {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			return fmt.Errorf("unknown router %q (want %s)", opts.router, strings.Join(pdr.Routers(), "|"))
+		}
+		copts = append(copts, pdr.WithFleetRouter(opts.router))
 	}
 	if opts.run != "" && opts.run != "all" {
 		var ids []string
@@ -122,6 +164,66 @@ func realMain(ctx context.Context, w io.Writer, opts options) error {
 		}
 	}
 	return nil
+}
+
+// scenarioInfo and platformInfo are the machine-readable registry rows
+// `-list -json` emits; field order is stable so the output can be golden-
+// tested and diffed.
+type scenarioInfo struct {
+	ID        string   `json:"id"`
+	Aliases   []string `json:"aliases,omitempty"`
+	Shards    int      `json:"shards"`
+	Platforms []string `json:"platforms,omitempty"`
+	Title     string   `json:"title"`
+}
+
+type platformInfo struct {
+	Name    string `json:"name"`
+	Board   string `json:"board"`
+	Part    string `json:"part"`
+	Variant bool   `json:"variant,omitempty"`
+	Summary string `json:"summary"`
+}
+
+type listing struct {
+	Scenarios []scenarioInfo `json:"scenarios"`
+	Platforms []platformInfo `json:"platforms"`
+}
+
+// listScenariosJSON emits the registry as one stable JSON document. Shard
+// counts and platform spans reflect the default configuration, exactly as
+// the table listing does.
+func listScenariosJSON(w io.Writer) error {
+	cfg := experiments.Config{}
+	var out listing
+	for _, s := range pdr.Scenarios() {
+		info := scenarioInfo{
+			ID:      s.ID,
+			Aliases: s.Aliases,
+			Shards:  s.Shards(cfg),
+			Title:   s.Title,
+		}
+		if s.Platforms != nil {
+			info.Platforms = s.Platforms(cfg)
+		}
+		out.Scenarios = append(out.Scenarios, info)
+	}
+	for _, p := range pdr.Platforms() {
+		out.Platforms = append(out.Platforms, platformInfo{
+			Name:    p.Name,
+			Board:   p.Board,
+			Part:    p.Part,
+			Variant: p.Variant,
+			Summary: p.Summary,
+		})
+	}
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	_, err = w.Write(enc)
+	return err
 }
 
 func listScenarios(w io.Writer) error {

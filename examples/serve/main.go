@@ -62,7 +62,7 @@ func main() {
 	} {
 		st := serve(200, pdr.ServeOptions{CacheBudgetBytes: mode.budget, Prewarm: asps})
 		fmt.Printf("%s: p50 %6.2f ms  p99 %7.2f ms  deadline misses %d/%d\n",
-			mode.label, st.SojournUS.Percentile(50)/1000, st.SojournUS.Percentile(99)/1000,
+			mode.label, st.SojournUS.Quantile(0.50)/1000, st.SojournUS.Quantile(0.99)/1000,
 			st.DeadlineMisses, st.Completed)
 	}
 
@@ -75,7 +75,7 @@ func main() {
 		})
 		fmt.Printf("%-8s: hit rate %2.0f%%  p99 %7.2f ms  evictions %d\n",
 			policy, 100*float64(st.Hits)/float64(st.Requests),
-			st.SojournUS.Percentile(99)/1000, st.Cache.Evictions)
+			st.SojournUS.Quantile(0.99)/1000, st.Cache.Evictions)
 	}
 
 	fmt.Println("\n— per-tenant view (cached, 200 req/s) —")

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// AutoscalerConfig parameterises the fleet's reactive scaler. The scaler
+// watches fixed windows of the arrival timeline; at each window boundary it
+// compares the window's shed fraction and p99 sojourn against thresholds
+// and grows or shrinks the active board set by one, within [Min, Max]. A
+// nil config keeps every board active for the whole run.
+type AutoscalerConfig struct {
+	// Window is the evaluation period on the arrival timeline.
+	Window sim.Duration
+	// Min and Max bound the active fleet (1 ≤ Min ≤ Max ≤ board count).
+	Min, Max int
+	// Grow when the windowed shed fraction exceeds ShedHi OR the windowed
+	// p99 sojourn exceeds P99HiUS microseconds.
+	ShedHi  float64
+	P99HiUS float64
+	// Shrink when the windowed shed fraction is at most ShedLo AND the
+	// windowed p99 sojourn is below P99LoUS microseconds.
+	ShedLo  float64
+	P99LoUS float64
+}
+
+// Validate checks the window and bounds against a fleet size.
+func (c *AutoscalerConfig) Validate(boards int) error {
+	switch {
+	case c.Window <= 0:
+		return fmt.Errorf("cluster: autoscaler window must be positive, got %v", c.Window)
+	case c.Min < 1 || c.Min > c.Max:
+		return fmt.Errorf("cluster: autoscaler bounds [%d, %d] invalid", c.Min, c.Max)
+	case c.Max > boards:
+		return fmt.Errorf("cluster: autoscaler max %d exceeds fleet size %d", c.Max, boards)
+	}
+	return nil
+}
+
+// ScaleEvent records one autoscaler decision.
+type ScaleEvent struct {
+	// AtUS is the window boundary (arrival-timeline microseconds) the
+	// decision fired at.
+	AtUS float64 `json:"at_us"`
+	// From and To are the active board counts before and after.
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Reason names the threshold that tripped.
+	Reason string `json:"reason"`
+}
+
+// window accumulates one evaluation period's signals.
+type window struct {
+	offered, shed int
+	sojournUS     sim.Sample
+}
+
+// autoscaler is the runtime state behind an AutoscalerConfig.
+type autoscaler struct {
+	cfg    AutoscalerConfig
+	wins   []*window
+	evaled int // windows already decided
+	events []ScaleEvent
+}
+
+func newAutoscaler(cfg AutoscalerConfig) *autoscaler {
+	return &autoscaler{cfg: cfg}
+}
+
+// win returns the accumulator for the window containing rel.
+func (a *autoscaler) win(rel sim.Duration) *window {
+	i := int(rel / a.cfg.Window)
+	for len(a.wins) <= i {
+		a.wins = append(a.wins, &window{})
+	}
+	return a.wins[i]
+}
+
+func (a *autoscaler) observeArrival(rel sim.Duration, shed bool) {
+	w := a.win(rel)
+	w.offered++
+	if shed {
+		w.shed++
+	}
+}
+
+func (a *autoscaler) observeCompletion(rel, sojourn sim.Duration) {
+	a.win(rel).sojournUS.Add(sojourn.Microseconds())
+}
+
+// evaluate decides every window that has fully elapsed by fleet time now
+// and returns the new active count. Decisions are one step per window, so
+// the fleet reacts at the window cadence rather than thrashing per request.
+func (a *autoscaler) evaluate(now sim.Duration, active int) int {
+	for sim.Duration(a.evaled+1)*a.cfg.Window <= now {
+		w := a.evaled
+		a.evaled++
+		var win *window
+		if w < len(a.wins) {
+			win = a.wins[w]
+		} else {
+			win = &window{}
+		}
+		shedFrac := 0.0
+		if win.offered > 0 {
+			shedFrac = float64(win.shed) / float64(win.offered)
+		}
+		p99 := win.sojournUS.Quantile(0.99)
+		boundary := (sim.Duration(w+1) * a.cfg.Window).Microseconds()
+		switch {
+		case active < a.cfg.Max && shedFrac > a.cfg.ShedHi:
+			a.events = append(a.events, ScaleEvent{
+				AtUS: boundary, From: active, To: active + 1,
+				Reason: fmt.Sprintf("shed %.0f%% > %.0f%%", 100*shedFrac, 100*a.cfg.ShedHi),
+			})
+			active++
+		case active < a.cfg.Max && p99 > a.cfg.P99HiUS:
+			a.events = append(a.events, ScaleEvent{
+				AtUS: boundary, From: active, To: active + 1,
+				Reason: fmt.Sprintf("p99 %.1fms > %.1fms", p99/1000, a.cfg.P99HiUS/1000),
+			})
+			active++
+		case active > a.cfg.Min && shedFrac <= a.cfg.ShedLo && p99 < a.cfg.P99LoUS:
+			a.events = append(a.events, ScaleEvent{
+				AtUS: boundary, From: active, To: active - 1,
+				Reason: fmt.Sprintf("idle: shed %.0f%%, p99 %.1fms", 100*shedFrac, p99/1000),
+			})
+			active--
+		}
+	}
+	return active
+}

@@ -1,0 +1,345 @@
+// Package cluster is the fleet layer above one board's reconfiguration
+// service: N independent simulated boards (each an hll.Service on its own
+// kernel, mixed platform profiles allowed) behind a front-end router that
+// assigns every arriving request to a board before it enters that board's
+// per-RP queues, plus a reactive autoscaler that grows and shrinks the
+// active board set between bounds.
+//
+// The fleet walks the arrival stream in time order. Before each arrival it
+// advances every board's simulation to the arrival instant, so the router
+// sees exact board state (outstanding work, queue depths) rather than an
+// estimate; then the chosen board admits the request under its own
+// admission control. Determinism is the hard requirement: boards advance
+// and drain in index order, per-board RNG streams derive from the fleet
+// seed and board index, and the merged statistics are a pure function of
+// (seed, trace, fleet config) — byte-identical across repeated runs and
+// whatever campaign schedule produced them.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/core"
+	"repro/internal/hll"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/zynq"
+)
+
+// BoardSpec names one board of the fleet.
+type BoardSpec struct {
+	// Platform is the registered platform profile the board simulates
+	// ("" = the default zedboard).
+	Platform string
+}
+
+// ServiceTemplate is the per-board service configuration every fleet board
+// is built from. Budgets resolve against each board's own profile, so a
+// mixed fleet gives every board the budget its platform affords.
+type ServiceTemplate struct {
+	// Policy is the per-board dispatch policy name ("" = fcfs).
+	Policy string
+	// CacheBudgetBytes bounds each board's DRAM bitstream cache: 0 uses
+	// the board profile's derived budget, < 0 disables the cache.
+	CacheBudgetBytes int64
+	// CacheBudgetImages, when > 0, overrides CacheBudgetBytes with
+	// n × the board's own image size — the portable way to give a mixed
+	// fleet comparably sized caches.
+	CacheBudgetImages int
+	// QueueCap is the per-RP admission depth (0 = 32).
+	QueueCap int
+	// Prewarm stages the listed ASPs into every board's cache before the
+	// stream starts (ignored on cache-disabled boards).
+	Prewarm []string
+}
+
+// FleetConfig assembles a fleet.
+type FleetConfig struct {
+	// Boards lists the fleet members in fixed index order.
+	Boards []BoardSpec
+	// Seed is the fleet seed; board i's platform RNG stream derives from
+	// (Seed, i), so fleet runs are pure functions of the configuration.
+	Seed uint64
+	// FreqMHz is the ICAP over-clock applied to every board (0 = nominal).
+	FreqMHz float64
+	// Router assigns arrivals to boards (nil = round-robin). Routers carry
+	// state; do not share one across fleets.
+	Router Router
+	// Autoscaler, when non-nil, starts the fleet at Min active boards and
+	// reacts to windowed shed/p99 signals. Nil keeps every board active.
+	Autoscaler *AutoscalerConfig
+	// Service is the per-board service template.
+	Service ServiceTemplate
+}
+
+// board is one fleet member.
+type board struct {
+	spec     BoardSpec
+	profile  *platform.Profile
+	svc      *hll.Service
+	hasRP    map[string]bool
+	weight   float64
+	assigned int
+}
+
+// Fleet is N boards behind a router. Build with New, serve one stream with
+// Serve (a fleet, like a service, is single-use — every Serve in the public
+// API builds a fresh one).
+type Fleet struct {
+	cfg    FleetConfig
+	boards []*board
+	router Router
+	scaler *autoscaler
+	common []string // RP names every board serves, in board-0 order
+	served bool
+}
+
+// deriveSeed spreads the fleet seed across board indices (splitmix64-style
+// odd multiplier, the same derivation the experiment scenarios use for
+// per-point streams).
+func deriveSeed(seed uint64, index int) uint64 {
+	return seed ^ (uint64(index+1) * 0x9E3779B97F4A7C15)
+}
+
+// CommonRPs resolves the servable RP set of a board list — the partitions
+// every board's platform has, in first-board plan order — straight from
+// the profile registry, without booting anything. A trace over these can
+// be routed to any board.
+func CommonRPs(specs []BoardSpec) ([]string, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cluster: fleet needs at least one board")
+	}
+	var common []string
+	for i, spec := range specs {
+		prof, ok := platform.Lookup(spec.Platform)
+		if !ok {
+			return nil, fmt.Errorf("cluster: board %d: unknown platform %q (registered: %s)",
+				i, spec.Platform, platform.NameList())
+		}
+		names := prof.RPNames()
+		if i == 0 {
+			common = names
+			continue
+		}
+		has := make(map[string]bool, len(names))
+		for _, rp := range names {
+			has[rp] = true
+		}
+		kept := common[:0]
+		for _, rp := range common {
+			if has[rp] {
+				kept = append(kept, rp)
+			}
+		}
+		common = kept
+	}
+	if len(common) == 0 {
+		return nil, fmt.Errorf("cluster: fleet boards share no reconfigurable partition")
+	}
+	return common, nil
+}
+
+// New builds the fleet: every board is booted up front (an autoscaler
+// activates and deactivates routing, not hardware), so the run's cost and
+// RNG draws never depend on scaling decisions.
+func New(cfg FleetConfig) (*Fleet, error) {
+	common, err := CommonRPs(cfg.Boards)
+	if err != nil {
+		return nil, err
+	}
+	router := cfg.Router
+	if router == nil {
+		router = RoundRobin()
+	}
+	f := &Fleet{cfg: cfg, router: router, common: common}
+	if cfg.Autoscaler != nil {
+		if err := cfg.Autoscaler.Validate(len(cfg.Boards)); err != nil {
+			return nil, err
+		}
+		f.scaler = newAutoscaler(*cfg.Autoscaler)
+	}
+	for i, spec := range cfg.Boards {
+		b, err := newBoard(cfg, spec, i)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: board %d (%s): %w", i, spec.Platform, err)
+		}
+		f.boards = append(f.boards, b)
+	}
+	return f, nil
+}
+
+func newBoard(cfg FleetConfig, spec BoardSpec, index int) (*board, error) {
+	prof, ok := platform.Lookup(spec.Platform)
+	if !ok {
+		return nil, fmt.Errorf("unknown platform %q (registered: %s)", spec.Platform, platform.NameList())
+	}
+	p, err := zynq.NewPlatform(zynq.Options{
+		Seed:        deriveSeed(cfg.Seed, index),
+		Profile:     prof,
+		FastThermal: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.ConfigureStatic()
+	ctrl := core.New(p)
+	if cfg.FreqMHz > 0 {
+		if _, err := ctrl.SetFrequencyMHz(cfg.FreqMHz); err != nil {
+			return nil, err
+		}
+	}
+	policyName := cfg.Service.Policy
+	if policyName == "" {
+		policyName = "fcfs"
+	}
+	policy, err := sched.PolicyByName(policyName)
+	if err != nil {
+		return nil, err
+	}
+	dev := prof.NewDevice()
+	image := int64(bitstream.ExpectedSize(dev.RegionFrames(prof.RPs(dev)[0])))
+	budget := cfg.Service.CacheBudgetBytes
+	switch {
+	case cfg.Service.CacheBudgetImages > 0:
+		budget = int64(cfg.Service.CacheBudgetImages) * image
+	case budget == 0:
+		budget = prof.BitstreamCacheBytes()
+	case budget < 0:
+		budget = 0 // hll semantics: 0 disables
+	}
+	queueCap := cfg.Service.QueueCap
+	if queueCap == 0 {
+		queueCap = 32
+	}
+	svc := hll.NewService(ctrl, hll.ServiceConfig{
+		Policy:           policy,
+		CacheBudgetBytes: budget,
+		QueueCap:         queueCap,
+		StageBytesPerSec: prof.IO.SDBytesPerSec,
+		PrewarmASPs:      cfg.Service.Prewarm,
+	})
+	weighFreq := cfg.FreqMHz
+	if weighFreq <= 0 {
+		weighFreq = prof.Clock.NominalMHz
+	}
+	b := &board{
+		spec:    spec,
+		profile: prof,
+		svc:     svc,
+		hasRP:   make(map[string]bool),
+		weight:  prof.MemoryPlateauMBs(weighFreq),
+	}
+	for _, rp := range svc.RPNames() {
+		b.hasRP[rp] = true
+	}
+	return b, nil
+}
+
+// RPNames lists the partitions every fleet board serves (the servable RP
+// set a fleet trace must stay within), in board-0 plan order.
+func (f *Fleet) RPNames() []string { return append([]string(nil), f.common...) }
+
+// Router returns the active routing policy.
+func (f *Fleet) Router() Router { return f.router }
+
+// Size returns the fleet's board count.
+func (f *Fleet) Size() int { return len(f.boards) }
+
+// Serve routes the whole arrival stream across the fleet and returns the
+// merged statistics. The trace must be time-ordered and stay within the
+// fleet's common RP set and the ASP library (validated at the fleet door).
+func (f *Fleet) Serve(tr workload.Trace) (*FleetStats, error) {
+	if f.served {
+		return nil, fmt.Errorf("cluster: fleet already served a stream (build a fresh fleet per run)")
+	}
+	asps := workload.Library()
+	names := make([]string, len(asps))
+	for i, a := range asps {
+		names[i] = a.Name
+	}
+	if err := tr.Validate(f.common, names); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	f.served = true
+
+	for i, b := range f.boards {
+		if f.scaler != nil {
+			b.svc.SetOnComplete(f.scaler.observeCompletion)
+		}
+		if err := b.svc.Begin(); err != nil {
+			return nil, fmt.Errorf("cluster: board %d: %w", i, err)
+		}
+	}
+
+	active := len(f.boards)
+	if f.scaler != nil {
+		active = f.scaler.cfg.Min
+	}
+	peak := active
+
+	now := sim.Duration(-1)
+	views := make([]BoardView, len(f.boards))
+	for _, req := range tr {
+		if req.At > now {
+			now = req.At
+			for i, b := range f.boards {
+				if err := b.svc.AdvanceTo(now); err != nil {
+					return nil, fmt.Errorf("cluster: board %d: %w", i, err)
+				}
+			}
+		}
+		if f.scaler != nil {
+			active = f.scaler.evaluate(now, active)
+			if active > peak {
+				peak = active
+			}
+		}
+		for i, b := range f.boards {
+			views[i] = BoardView{
+				Index:       i,
+				Active:      i < active,
+				HasRP:       b.hasRP[req.RP],
+				Outstanding: b.svc.Outstanding(),
+				Queued:      b.svc.Queued(),
+				Assigned:    b.assigned,
+				Weight:      b.weight,
+			}
+		}
+		pick := f.router.Pick(views, req)
+		if pick < 0 || pick >= len(f.boards) || !eligible(views[pick]) {
+			return nil, fmt.Errorf("cluster: router %s picked ineligible board %d for %s@%s",
+				f.router.Name(), pick, req.ASP, req.RP)
+		}
+		b := f.boards[pick]
+		b.assigned++
+		admitted, err := b.svc.Offer(req)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: board %d: %w", pick, err)
+		}
+		if f.scaler != nil {
+			f.scaler.observeArrival(req.At, !admitted)
+		}
+	}
+
+	stats := &FleetStats{PeakActive: peak, FinalActive: active}
+	for i, b := range f.boards {
+		st, err := b.svc.Drain()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: board %d: %w", i, err)
+		}
+		stats.Boards = append(stats.Boards, BoardStats{
+			Index:    i,
+			Platform: b.profile.Name,
+			Assigned: b.assigned,
+			Stats:    st,
+		})
+	}
+	if f.scaler != nil {
+		stats.ScaleEvents = append(stats.ScaleEvents, f.scaler.events...)
+	}
+	stats.Aggregate = mergeStats(stats.Boards)
+	return stats, nil
+}

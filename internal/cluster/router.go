@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// BoardView is the router-visible state of one board at an arrival instant:
+// what a real fleet front-end knows about a backend — membership, load it
+// routed there, load still in flight — plus the simulation's ground truth
+// (every board has been advanced to the arrival instant before the views
+// are built, so Outstanding is exact, not an estimate).
+type BoardView struct {
+	// Index is the board's fixed position in the fleet.
+	Index int
+	// Active reports whether the autoscaler currently routes to the board
+	// (an inactive board still drains work it already accepted).
+	Active bool
+	// HasRP reports whether the board's fabric has the request's partition
+	// (mixed fleets span parts with different RP plans).
+	HasRP bool
+	// Outstanding counts requests offered to the board and not yet
+	// finished; Queued counts the subset still waiting in per-RP queues.
+	Outstanding int
+	Queued      int
+	// Assigned counts every request ever routed to the board.
+	Assigned int
+	// Weight is the board's capacity proxy (the platform profile's memory
+	// plateau at the serving frequency, in MB/s).
+	Weight float64
+}
+
+// Router assigns each arriving request to a board before it enters that
+// board's per-RP queues. Pick receives one view per fleet board in index
+// order and must return the index of an eligible (Active && HasRP) board;
+// at least one is guaranteed. Pick must be deterministic — a fleet run is a
+// pure function of (seed, spec, fleet config).
+type Router interface {
+	Name() string
+	Pick(views []BoardView, req workload.Request) int
+}
+
+// eligible reports whether the view may receive the request.
+func eligible(v BoardView) bool { return v.Active && v.HasRP }
+
+// roundRobin cycles through the eligible boards in index order.
+type roundRobin struct{ cursor int }
+
+func (r *roundRobin) Name() string { return "round-robin" }
+
+func (r *roundRobin) Pick(views []BoardView, _ workload.Request) int {
+	n := len(views)
+	for i := 0; i < n; i++ {
+		v := views[(r.cursor+i)%n]
+		if eligible(v) {
+			r.cursor = (v.Index + 1) % n
+			return v.Index
+		}
+	}
+	return 0 // unreachable: the fleet guarantees an eligible board
+}
+
+// leastOutstanding is join-shortest-queue: the eligible board with the
+// fewest in-flight requests, ties to the lowest index.
+type leastOutstanding struct{}
+
+func (leastOutstanding) Name() string { return "least-outstanding" }
+
+func (leastOutstanding) Pick(views []BoardView, _ workload.Request) int {
+	best := -1
+	for _, v := range views {
+		if !eligible(v) {
+			continue
+		}
+		if best < 0 || v.Outstanding < views[best].Outstanding {
+			best = v.Index
+		}
+	}
+	return best
+}
+
+// weighted balances assignments proportionally to board capacity: pick the
+// eligible board minimising (Assigned+1)/Weight, so a zc706 absorbs more of
+// the stream than a zybo. Ties go to the lowest index.
+type weighted struct{}
+
+func (weighted) Name() string { return "weighted" }
+
+func (weighted) Pick(views []BoardView, _ workload.Request) int {
+	best := -1
+	bestCost := 0.0
+	for _, v := range views {
+		if !eligible(v) {
+			continue
+		}
+		w := v.Weight
+		if w <= 0 {
+			w = 1
+		}
+		cost := float64(v.Assigned+1) / w
+		if best < 0 || cost < bestCost {
+			best, bestCost = v.Index, cost
+		}
+	}
+	return best
+}
+
+// affinity consistently hashes the requested bitstream image (ASP@RP) onto
+// a virtual-node ring over the fleet, so the same image keeps hitting the
+// same board's DRAM cache. When the autoscaler deactivates a board (or a
+// mixed fleet lacks the RP), the walk continues around the ring — only that
+// board's images remap, which is the point of consistent hashing.
+type affinity struct {
+	ring []ringNode // sorted by hash
+	n    int        // board count the ring was built for
+}
+
+type ringNode struct {
+	hash  uint64
+	board int
+}
+
+func (a *affinity) Name() string { return "affinity" }
+
+// affinityVNodes is the virtual-node count per board: enough that the ring
+// splits image keys roughly evenly across a small fleet.
+const affinityVNodes = 64
+
+// hash64 hashes a string onto the ring. Raw FNV-1a avalanches poorly on
+// short suffix changes — "…vnode-0" and "…vnode-1" land almost adjacent, so
+// a board's virtual nodes would clump into one arc instead of spreading —
+// hence the splitmix64 finaliser on top.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (a *affinity) build(n int) {
+	a.n = n
+	a.ring = a.ring[:0]
+	for b := 0; b < n; b++ {
+		for v := 0; v < affinityVNodes; v++ {
+			a.ring = append(a.ring, ringNode{
+				hash:  hash64(fmt.Sprintf("board-%d-vnode-%d", b, v)),
+				board: b,
+			})
+		}
+	}
+	sort.Slice(a.ring, func(i, j int) bool {
+		if a.ring[i].hash != a.ring[j].hash {
+			return a.ring[i].hash < a.ring[j].hash
+		}
+		return a.ring[i].board < a.ring[j].board
+	})
+}
+
+func (a *affinity) Pick(views []BoardView, req workload.Request) int {
+	if a.n != len(views) {
+		a.build(len(views))
+	}
+	key := hash64(req.ASP + "@" + req.RP)
+	start := sort.Search(len(a.ring), func(i int) bool { return a.ring[i].hash >= key })
+	for i := 0; i < len(a.ring); i++ {
+		node := a.ring[(start+i)%len(a.ring)]
+		if eligible(views[node.board]) {
+			return node.board
+		}
+	}
+	return 0 // unreachable: the fleet guarantees an eligible board
+}
+
+// RoundRobin, LeastOutstanding, Weighted and Affinity are the built-in
+// routing policies. Each call returns a fresh router (round-robin and
+// affinity carry state, so routers are not shared between fleets).
+func RoundRobin() Router       { return &roundRobin{} }
+func LeastOutstanding() Router { return leastOutstanding{} }
+func Weighted() Router         { return weighted{} }
+func Affinity() Router         { return &affinity{} }
+
+// RouterNames lists the built-in routing policies in presentation order.
+func RouterNames() []string {
+	return []string{"round-robin", "least-outstanding", "weighted", "affinity"}
+}
+
+// RouterByName resolves a built-in routing policy.
+func RouterByName(name string) (Router, error) {
+	switch name {
+	case "round-robin":
+		return RoundRobin(), nil
+	case "least-outstanding":
+		return LeastOutstanding(), nil
+	case "weighted":
+		return Weighted(), nil
+	case "affinity":
+		return Affinity(), nil
+	}
+	return nil, fmt.Errorf("cluster: unknown router %q (want round-robin|least-outstanding|weighted|affinity)", name)
+}

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// views builds a fleet view where every board is active and has the RP,
+// then lets the caller adjust.
+func activeViews(n int) []BoardView {
+	out := make([]BoardView, n)
+	for i := range out {
+		out[i] = BoardView{Index: i, Active: true, HasRP: true, Weight: 1}
+	}
+	return out
+}
+
+var anyReq = workload.Request{RP: "RP1", ASP: "fir128"}
+
+func TestRoundRobinCyclesAndSkipsIneligible(t *testing.T) {
+	r := RoundRobin()
+	v := activeViews(3)
+	got := []int{}
+	for i := 0; i < 6; i++ {
+		got = append(got, r.Pick(v, anyReq))
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pick sequence = %v, want %v", got, want)
+		}
+	}
+	v[1].Active = false // deactivated mid-cycle: skipped, cycle continues
+	if p := r.Pick(v, anyReq); p != 0 {
+		t.Errorf("pick = %d, want 0", p)
+	}
+	if p := r.Pick(v, anyReq); p != 2 {
+		t.Errorf("pick = %d, want 2 (board 1 inactive)", p)
+	}
+}
+
+func TestLeastOutstandingPicksShortestQueue(t *testing.T) {
+	r := LeastOutstanding()
+	v := activeViews(3)
+	v[0].Outstanding, v[1].Outstanding, v[2].Outstanding = 5, 2, 9
+	if p := r.Pick(v, anyReq); p != 1 {
+		t.Errorf("pick = %d, want 1", p)
+	}
+	v[2].Outstanding = 2 // tie with board 1 → lowest index wins
+	if p := r.Pick(v, anyReq); p != 1 {
+		t.Errorf("tie pick = %d, want 1", p)
+	}
+	v[1].Active = false
+	if p := r.Pick(v, anyReq); p != 2 {
+		t.Errorf("pick = %d, want 2 (board 1 inactive)", p)
+	}
+}
+
+func TestWeightedTracksCapacity(t *testing.T) {
+	r := Weighted()
+	v := activeViews(2)
+	v[0].Weight, v[1].Weight = 990, 550 // zc706 vs zybo plateau-ish
+	assigned := []int{0, 0}
+	for i := 0; i < 154; i++ {
+		p := r.Pick(v, anyReq)
+		assigned[p]++
+		v[p].Assigned++
+	}
+	// Proportional split: 990/(990+550) ≈ 64% to the big board.
+	if assigned[0] != 99 || assigned[1] != 55 {
+		t.Errorf("weighted split = %v, want [99 55]", assigned)
+	}
+}
+
+func TestAffinityIsConsistentAndRemapsOnScaleDown(t *testing.T) {
+	r := Affinity()
+	v := activeViews(4)
+	keyA := workload.Request{RP: "RP1", ASP: "fir128"}
+	keyB := workload.Request{RP: "RP2", ASP: "fir128"} // same ASP, other RP = distinct image
+	homeA := r.Pick(v, keyA)
+	for i := 0; i < 5; i++ {
+		if p := r.Pick(v, keyA); p != homeA {
+			t.Fatalf("affinity moved key A: %d then %d", homeA, p)
+		}
+	}
+	// Deactivate A's home: the key remaps (ring walk) but stays stable...
+	v[homeA].Active = false
+	alt := r.Pick(v, keyA)
+	if alt == homeA {
+		t.Fatal("remapped pick must avoid the inactive board")
+	}
+	if p := r.Pick(v, keyA); p != alt {
+		t.Errorf("remapped key unstable: %d then %d", alt, p)
+	}
+	// …and returns home when the board comes back.
+	v[homeA].Active = true
+	if p := r.Pick(v, keyA); p != homeA {
+		t.Errorf("key did not return home after reactivation: %d, want %d", p, homeA)
+	}
+	_ = keyB
+}
+
+func TestAffinitySpreadsDistinctImages(t *testing.T) {
+	r := Affinity()
+	v := activeViews(4)
+	hits := make([]int, 4)
+	for _, rp := range []string{"RP1", "RP2", "RP3", "RP4"} {
+		for _, asp := range []string{"fir128", "sha3", "aes-gcm", "fft1k", "matmul8", "decimal-fpu"} {
+			hits[r.Pick(v, workload.Request{RP: rp, ASP: asp})]++
+		}
+	}
+	for b, n := range hits {
+		if n == 0 {
+			t.Errorf("board %d received no image keys (spread %v)", b, hits)
+		}
+	}
+}
+
+func TestAutoscalerUnitThresholds(t *testing.T) {
+	const w = sim.Millisecond
+	a := newAutoscaler(AutoscalerConfig{
+		Window: w, Min: 1, Max: 3,
+		ShedHi: 0.2, P99HiUS: 100, ShedLo: 0.01, P99LoUS: 50,
+	})
+	// Window 0: 10 offered, 3 shed (30% > 20%) → grow.
+	for i := 0; i < 10; i++ {
+		a.observeArrival(w/2, i < 3)
+	}
+	if got := a.evaluate(w, 1); got != 2 {
+		t.Errorf("active after shed window = %d, want 2", got)
+	}
+	// Window 1: clean but slow (p99 200 µs > 100 µs) → grow to the Max cap.
+	a.observeArrival(w+w/2, false)
+	a.observeCompletion(w+w/2, 200*sim.Microsecond)
+	if got := a.evaluate(2*w, 2); got != 3 {
+		t.Errorf("active after slow window = %d, want 3", got)
+	}
+	// Window 2: comfortable → shrink.
+	a.observeArrival(2*w+w/2, false)
+	a.observeCompletion(2*w+w/2, 10*sim.Microsecond)
+	if got := a.evaluate(3*w, 3); got != 2 {
+		t.Errorf("active after idle window = %d, want 2", got)
+	}
+	// Windows 3-4: empty windows are comfortable too; Min clamps.
+	if got := a.evaluate(5*w, 2); got != 1 {
+		t.Errorf("active after empty windows = %d, want clamped at 1", got)
+	}
+	if len(a.events) != 4 {
+		t.Errorf("events = %d, want 4: %+v", len(a.events), a.events)
+	}
+}

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"repro/internal/hll"
+)
+
+// BoardStats is one board's view of a fleet run.
+type BoardStats struct {
+	// Index and Platform identify the board.
+	Index    int
+	Platform string
+	// Assigned counts the requests the router sent to this board.
+	Assigned int
+	// Stats is the board's own service-level accounting.
+	Stats hll.ServiceStats
+}
+
+// FleetStats is the merged outcome of a fleet run: the per-board break-down
+// in index order, the aggregate service statistics across the fleet, and
+// the autoscaler's trajectory. Merging happens in board-index order and
+// sample quantiles sort before ranking, so the merge is byte-stable
+// regardless of board count or campaign schedule.
+type FleetStats struct {
+	// Boards holds the per-board statistics in index order.
+	Boards []BoardStats
+	// Aggregate merges every board: counters sum, latency samples pool,
+	// Makespan is the slowest board's (the fleet finishes when its last
+	// board drains), per-tenant accounting merges across boards.
+	Aggregate hll.ServiceStats
+	// ScaleEvents is the autoscaler's decision log (empty without one).
+	ScaleEvents []ScaleEvent
+	// PeakActive and FinalActive record the active-set trajectory.
+	PeakActive, FinalActive int
+}
+
+// GoodputPerSec is the fleet's useful throughput: completions that met
+// their deadline per second of fleet makespan. Requests without deadlines
+// all count as useful.
+func (fs *FleetStats) GoodputPerSec() float64 {
+	sec := fs.Aggregate.Makespan.Seconds()
+	if sec <= 0 {
+		return 0
+	}
+	return float64(fs.Aggregate.Completed-fs.Aggregate.DeadlineMisses) / sec
+}
+
+// CacheHitRatio is the fleet-wide bitstream-cache hit ratio.
+func (fs *FleetStats) CacheHitRatio() float64 { return fs.Aggregate.Cache.HitRatio() }
+
+// RoutingSpread is max/min assigned requests across boards that received
+// any (1 = perfectly balanced). Boards with zero assignments are excluded
+// so an autoscaled run that never activated a board does not divide by
+// zero.
+func (fs *FleetStats) RoutingSpread() float64 {
+	lo, hi := 0, 0
+	seen := false
+	for _, b := range fs.Boards {
+		if b.Assigned == 0 {
+			continue
+		}
+		if !seen || b.Assigned < lo {
+			lo = b.Assigned
+		}
+		if b.Assigned > hi {
+			hi = b.Assigned
+		}
+		seen = true
+	}
+	if !seen || lo == 0 {
+		return 0
+	}
+	return float64(hi) / float64(lo)
+}
+
+// mergeStats folds the per-board statistics, in index order, into one
+// fleet-wide ServiceStats.
+func mergeStats(boards []BoardStats) hll.ServiceStats {
+	var agg hll.ServiceStats
+	agg.Tenants = make(map[string]*hll.TenantStats)
+	for i := range boards {
+		b := &boards[i].Stats
+		agg.Requests += b.Requests
+		agg.Reconfigs += b.Reconfigs
+		agg.Hits += b.Hits
+		agg.ReconfigTime += b.ReconfigTime
+		agg.ComputeTime += b.ComputeTime
+		if b.Makespan > agg.Makespan {
+			agg.Makespan = b.Makespan
+		}
+		agg.Failures += b.Failures
+		agg.QueueWaitUS.Merge(&b.QueueWaitUS)
+		agg.ServiceUS.Merge(&b.ServiceUS)
+		agg.SojournUS.Merge(&b.SojournUS)
+		agg.Offered += b.Offered
+		agg.Admitted += b.Admitted
+		agg.Shed += b.Shed
+		agg.Completed += b.Completed
+		agg.DeadlineMisses += b.DeadlineMisses
+		agg.Cache.Hits += b.Cache.Hits
+		agg.Cache.Misses += b.Cache.Misses
+		agg.Cache.Evictions += b.Cache.Evictions
+		agg.Cache.ResidentBytes += b.Cache.ResidentBytes
+		agg.Cache.PeakBytes += b.Cache.PeakBytes
+		agg.StageTime += b.StageTime
+		for _, name := range b.TenantNames() {
+			t := b.Tenants[name]
+			at, ok := agg.Tenants[name]
+			if !ok {
+				at = &hll.TenantStats{}
+				agg.Tenants[name] = at
+			}
+			at.Offered += t.Offered
+			at.Completed += t.Completed
+			at.Shed += t.Shed
+			at.Failed += t.Failed
+			at.DeadlineMisses += t.DeadlineMisses
+		}
+	}
+	return agg
+}

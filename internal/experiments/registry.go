@@ -242,6 +242,23 @@ func init() {
 		Merge:   schedMerge,
 	})
 	Register(Scenario{
+		ID:        "E13",
+		Title:     scaleTitle,
+		Aliases:   []string{"scaleout"},
+		Shards:    scaleShards,
+		Platforms: boardNames,
+		Run:       scaleShard,
+		Merge:     scaleMerge,
+	})
+	Register(Scenario{
+		ID:      "E14",
+		Title:   routeTitle,
+		Aliases: []string{"route"},
+		Shards:  routeShards,
+		Run:     routeShard,
+		Merge:   routeMerge,
+	})
+	Register(Scenario{
 		ID:      "A1",
 		Title:   "CRC read-back overhead on the foreground transfer",
 		Aliases: []string{"crc"},

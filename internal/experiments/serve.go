@@ -199,12 +199,12 @@ func satShard(ctx context.Context, env *Env, shard int) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			p99 := stats.SojournUS.Percentile(99)
+			p99 := stats.SojournUS.Quantile(0.99)
 			rep.Rows = append(rep.Rows, []string{
 				prof.Name, f0(rate), mode.label,
 				strconv.Itoa(stats.Offered), strconv.Itoa(stats.Completed), strconv.Itoa(stats.Shed),
 				hitRate(stats),
-				ms(stats.SojournUS.Percentile(50)), ms(stats.SojournUS.Percentile(95)), ms(p99),
+				ms(stats.SojournUS.Quantile(0.50)), ms(stats.SojournUS.Quantile(0.95)), ms(p99),
 				strconv.Itoa(stats.DeadlineMisses),
 			})
 			if mode.label == "cache" {
@@ -368,14 +368,14 @@ func schedShard(ctx context.Context, env *Env, shard int) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		p99 := stats.SojournUS.Percentile(99)
+		p99 := stats.SojournUS.Quantile(0.99)
 		rep.Rows = append(rep.Rows, []string{
 			policy.Name(), budget.label,
 			strconv.Itoa(stats.Offered), strconv.Itoa(stats.Completed), strconv.Itoa(stats.Shed),
 			hitRate(stats),
 			strconv.Itoa(stats.Cache.Hits), strconv.Itoa(stats.Cache.Evictions),
 			ms(stats.StageTime.Microseconds()),
-			ms(stats.SojournUS.Percentile(50)), ms(stats.SojournUS.Percentile(95)), ms(p99),
+			ms(stats.SojournUS.Quantile(0.50)), ms(stats.SojournUS.Quantile(0.95)), ms(p99),
 			strconv.Itoa(stats.DeadlineMisses),
 		})
 		series.Append(float64(bi), p99)

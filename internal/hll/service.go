@@ -86,6 +86,23 @@ type Service struct {
 
 	stats ServiceStats
 	done  int
+
+	// Session state (Begin/Offer/AdvanceTo/Drain — Serve drives the same
+	// primitives): a fleet front-end owns the arrival stream and this board
+	// only sees the requests routed to it. start anchors the session's
+	// relative timeline; stage0/cache0 snapshot the prewarm so the closed
+	// window reports the measurement only; finished marks the window
+	// closed, after which the session rejects further driving.
+	started  bool
+	finished bool
+	start    sim.Time
+	stage0   sim.Duration
+	cache0   sched.CacheStats
+
+	// onComplete, when set, observes every completion: rel is the completion
+	// instant relative to the session start, sojourn the arrival→completion
+	// latency. The fleet layer uses it for windowed autoscaling metrics.
+	onComplete func(rel, sojourn sim.Duration)
 }
 
 // NewService builds the service on a platform-backed controller.
@@ -127,62 +144,42 @@ func (s *Service) tenant(name string) *TenantStats {
 // accumulated statistics. The trace must be time-ordered and reference
 // known RPs and ASPs (validated up front — an open-loop service checks
 // requests at the door, not mid-flight).
+//
+// Serve is a driver over the session primitives (Begin/Offer/AdvanceTo/
+// Drain): the fleet front-end drives the very same loop one arrival at a
+// time, so the two paths cannot diverge — there is only one dispatch
+// implementation.
 func (s *Service) Serve(tr workload.Trace) (ServiceStats, error) {
+	if s.started {
+		return s.stats, fmt.Errorf("hll: service already consumed (one stream per service)")
+	}
 	if err := s.validate(tr); err != nil {
 		return s.stats, fmt.Errorf("hll: service: %w", err)
 	}
-	if err := s.prewarm(); err != nil {
-		return s.stats, fmt.Errorf("hll: service: prewarm: %w", err)
+	if err := s.Begin(); err != nil {
+		return s.stats, err
 	}
-	// Snapshot staging/cache state so the reported statistics cover the
-	// measurement window only, not the prewarm.
-	stage0 := s.eng.stageTime
-	cache0 := s.eng.cache.Stats()
-	p := s.eng.ctrl.Platform()
-	k := p.Kernel
-	start := k.Now()
-	s.done = 0
-	n := len(tr)
-
-	next := 0 // next arrival to admit
-	for s.done < n {
-		now := k.Now()
-		for next < n && start.Add(tr[next].At) <= now {
-			s.admit(tr[next], start)
-			next++
-		}
-		served, err := s.dispatchOne(now)
-		if err != nil {
-			s.finish(start, stage0, cache0)
-			return s.stats, fmt.Errorf("hll: service: %w", err)
-		}
-		if served {
-			continue
-		}
-		// Nothing dispatchable: advance to the next arrival or the next
-		// compute completion, whichever comes first.
-		wake := sim.Never
-		if next < n {
-			wake = start.Add(tr[next].At)
-		}
-		for _, name := range s.eng.order {
-			if bu := s.eng.rps[name].busyUntil; bu > now && bu < wake {
-				wake = bu
+	now := sim.Duration(-1)
+	for _, req := range tr {
+		if req.At > now {
+			now = req.At
+			if err := s.AdvanceTo(now); err != nil {
+				s.finish(s.start, s.stage0, s.cache0)
+				return s.stats, err
 			}
 		}
-		if wake == sim.Never {
-			return s.stats, fmt.Errorf("hll: service stalled with %d/%d requests outstanding", n-s.done, n)
+		if _, err := s.Offer(req); err != nil {
+			s.finish(s.start, s.stage0, s.cache0)
+			return s.stats, err
 		}
-		k.RunUntil(wake)
 	}
-
-	s.finish(start, stage0, cache0)
-	return s.stats, nil
+	return s.Drain()
 }
 
 // finish closes the measurement window: makespan, and staging/cache deltas
-// relative to the pre-stream snapshot.
+// relative to the pre-stream snapshot. A closed session stays closed.
 func (s *Service) finish(start sim.Time, stage0 sim.Duration, cache0 sched.CacheStats) {
+	s.finished = true
 	k := s.eng.ctrl.Platform().Kernel
 	s.stats.Makespan = k.Now().Sub(start)
 	s.stats.StageTime += s.eng.stageTime - stage0
@@ -380,6 +377,148 @@ func (s *Service) serveItem(it *sched.Item, st *rpState, now sim.Time) error {
 			s.stats.DeadlineMisses++
 			t.DeadlineMisses++
 		}
+		if s.onComplete != nil {
+			s.onComplete(end.Sub(s.start), end.Sub(it.At))
+		}
 	})
 	return nil
+}
+
+// --- externally driven session (the fleet front-end's view) ---
+//
+// A fleet router owns the arrival stream: it advances every board to each
+// arrival instant, inspects board state, and offers the request to exactly
+// one board. The primitives below expose the Serve loop's phases for that
+// driver. The dispatch semantics match Serve: work admitted at or before an
+// instant is dispatched when the board next advances past it, and a session
+// closes its measurement window exactly as Serve does.
+
+// SetOnComplete installs a completion observer (see the field docs). It
+// must be set before Begin or Serve.
+func (s *Service) SetOnComplete(fn func(rel, sojourn sim.Duration)) { s.onComplete = fn }
+
+// RPNames lists this board's partitions in platform order.
+func (s *Service) RPNames() []string { return append([]string(nil), s.eng.order...) }
+
+// Outstanding reports the offered-but-unfinished request count (queued or
+// computing; shed requests are finished on arrival) — the
+// join-shortest-queue signal a fleet router balances on.
+func (s *Service) Outstanding() int { return s.stats.Offered - s.done }
+
+// Queued reports the total number of requests waiting in the per-RP queues.
+func (s *Service) Queued() int {
+	n := 0
+	for _, name := range s.eng.order {
+		n += s.queues[name].Len()
+	}
+	return n
+}
+
+// Begin opens an externally driven session: prewarm the cache, snapshot the
+// staging/cache counters and anchor the relative timeline at the board's
+// current instant. A service serves exactly one stream — Begin rejects a
+// service already consumed by Serve or an earlier session.
+func (s *Service) Begin() error {
+	if s.started {
+		return fmt.Errorf("hll: service already consumed (one stream per service)")
+	}
+	if err := s.prewarm(); err != nil {
+		return fmt.Errorf("hll: service: prewarm: %w", err)
+	}
+	s.started = true
+	s.start = s.eng.ctrl.Platform().Kernel.Now()
+	s.stage0 = s.eng.stageTime
+	s.cache0 = s.eng.cache.Stats()
+	s.done = 0
+	return nil
+}
+
+// Offer admits one routed request at time start+req.At, running the same
+// admission control Serve applies, and reports whether the request was
+// admitted (false = shed). The request must reference one of this board's
+// RPs and a known ASP — the fleet validates the stream at its own door, so
+// a violation here is a routing bug, not load.
+func (s *Service) Offer(req workload.Request) (bool, error) {
+	if !s.started || s.finished {
+		return false, fmt.Errorf("hll: service: Offer outside an open session")
+	}
+	if _, ok := s.queues[req.RP]; !ok {
+		return false, fmt.Errorf("hll: service: unknown RP %q routed to this board", req.RP)
+	}
+	if _, err := workload.LibraryASP(req.ASP); err != nil {
+		return false, fmt.Errorf("hll: service: %w", err)
+	}
+	shed0 := s.stats.Shed
+	s.admit(req, s.start)
+	return s.stats.Shed == shed0, nil
+}
+
+// AdvanceTo drives the board's simulation to start+rel, dispatching queued
+// work on the way exactly as Serve's loop does. Dispatches at the target
+// instant itself are deferred to the next call, so arrivals offered at rel
+// join the candidate set before anything is picked at that instant — the
+// same order Serve establishes by admitting arrivals before dispatching. A
+// synchronous reconfiguration may overrun the target (as in Serve, where
+// arrivals during a transfer wait for the dispatcher); later calls with an
+// already-passed target are no-ops.
+func (s *Service) AdvanceTo(rel sim.Duration) error {
+	if !s.started || s.finished {
+		return fmt.Errorf("hll: service: AdvanceTo outside an open session")
+	}
+	k := s.eng.ctrl.Platform().Kernel
+	target := s.start.Add(rel)
+	for {
+		now := k.Now()
+		if now >= target {
+			return nil
+		}
+		served, err := s.dispatchOne(now)
+		if err != nil {
+			return fmt.Errorf("hll: service: %w", err)
+		}
+		if served {
+			continue
+		}
+		wake := target
+		for _, name := range s.eng.order {
+			if bu := s.eng.rps[name].busyUntil; bu > now && bu < wake {
+				wake = bu
+			}
+		}
+		k.RunUntil(wake)
+	}
+}
+
+// Drain serves everything still outstanding, closes the measurement window
+// and returns the session's statistics.
+func (s *Service) Drain() (ServiceStats, error) {
+	if !s.started || s.finished {
+		return s.stats, fmt.Errorf("hll: service: Drain outside an open session")
+	}
+	k := s.eng.ctrl.Platform().Kernel
+	for s.done < s.stats.Offered {
+		now := k.Now()
+		served, err := s.dispatchOne(now)
+		if err != nil {
+			s.finish(s.start, s.stage0, s.cache0)
+			return s.stats, fmt.Errorf("hll: service: %w", err)
+		}
+		if served {
+			continue
+		}
+		wake := sim.Never
+		for _, name := range s.eng.order {
+			if bu := s.eng.rps[name].busyUntil; bu > now && bu < wake {
+				wake = bu
+			}
+		}
+		if wake == sim.Never {
+			s.finish(s.start, s.stage0, s.cache0)
+			return s.stats, fmt.Errorf("hll: service stalled with %d/%d requests outstanding",
+				s.stats.Offered-s.done, s.stats.Offered)
+		}
+		k.RunUntil(wake)
+	}
+	s.finish(s.start, s.stage0, s.cache0)
+	return s.stats, nil
 }

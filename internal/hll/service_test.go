@@ -1,6 +1,7 @@
 package hll
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
@@ -268,6 +269,150 @@ func TestServeDeterministic(t *testing.T) {
 		s1.Makespan != s2.Makespan || s1.StageTime != s2.StageTime ||
 		s1.SojournUS.Percentile(99) != s2.SojournUS.Percentile(99) {
 		t.Errorf("service runs diverge:\n%+v\nvs\n%+v", s1, s2)
+	}
+}
+
+// TestSessionMatchesServe pins the externally driven session mode (the
+// fleet front-end's path) to Serve's semantics: driving the same stream
+// through Begin/Offer/AdvanceTo/Drain on an identically seeded board must
+// reproduce Serve's statistics exactly — same admissions, same schedule,
+// same simulated timing.
+func TestSessionMatchesServe(t *testing.T) {
+	cfg := ServiceConfig{
+		Policy:           sched.SBF(),
+		CacheBudgetBytes: 2 * 528760, // thrashes: staging and eviction on most swaps
+		QueueCap:         8,
+		StageBytesPerSec: 20e6,
+		PrewarmASPs:      []string{"fir128"},
+	}
+	tr := mustTrace(t)(workload.OpenBursts(21, 48, 800, 4, 6,
+		[]string{"RP1", "RP2", "RP3", "RP4"}, []string{"fir128", "sha3", "aes-gcm", "fft1k"}))
+
+	cA := newServiceController(t)
+	served, err := NewService(cA, cfg).Serve(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cB := newServiceController(t)
+	s := NewService(cB, cfg)
+	completions := 0
+	s.SetOnComplete(func(rel, sojourn sim.Duration) {
+		completions++
+		if rel <= 0 || sojourn <= 0 {
+			t.Errorf("completion hook got rel=%v sojourn=%v", rel, sojourn)
+		}
+	})
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	now := sim.Duration(-1)
+	for _, req := range tr {
+		if req.At > now {
+			now = req.At
+			if err := s.AdvanceTo(now); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := s.Offer(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	driven, err := s.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(served, driven) {
+		t.Errorf("session-driven stats diverge from Serve:\n%+v\nvs\n%+v", served, driven)
+	}
+	if fa, fb := cA.Platform().Kernel.Fired(), cB.Platform().Kernel.Fired(); fa != fb {
+		t.Errorf("event counts differ: Serve %d vs session %d", fa, fb)
+	}
+	if completions != driven.Completed {
+		t.Errorf("completion hook fired %d times, want %d", completions, driven.Completed)
+	}
+}
+
+func TestSessionLifecycleErrors(t *testing.T) {
+	c := newServiceController(t)
+	s := NewService(c, ServiceConfig{})
+	if _, err := s.Offer(workload.Request{RP: "RP1", ASP: "fir128"}); err == nil {
+		t.Error("Offer before Begin must fail")
+	}
+	if err := s.AdvanceTo(sim.Millisecond); err == nil {
+		t.Error("AdvanceTo before Begin must fail")
+	}
+	if _, err := s.Drain(); err == nil {
+		t.Error("Drain before Begin must fail")
+	}
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Begin(); err == nil {
+		t.Error("double Begin must fail")
+	}
+	if _, err := s.Offer(workload.Request{RP: "RP9", ASP: "fir128"}); err == nil {
+		t.Error("unknown RP routed to the board must fail")
+	}
+	if _, err := s.Offer(workload.Request{RP: "RP1", ASP: "ghost"}); err == nil {
+		t.Error("unknown ASP must fail")
+	}
+
+	// A service serves exactly one stream: consumed by Serve, it must
+	// reject both another Serve and a session.
+	used := NewService(newServiceController(t), ServiceConfig{})
+	tr := workload.Trace{{RP: "RP1", ASP: "fir128"}}
+	if _, err := used.Serve(tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := used.Serve(tr); err == nil {
+		t.Error("second Serve on a consumed service must fail")
+	}
+	if err := used.Begin(); err == nil {
+		t.Error("Begin on a service consumed by Serve must fail")
+	}
+	// The closed window must stay closed: a stray Drain would otherwise
+	// re-apply the staging/cache deltas on top of the finished stats.
+	if _, err := used.Drain(); err == nil {
+		t.Error("Drain on a consumed service must fail")
+	}
+	if _, err := used.Offer(workload.Request{RP: "RP1", ASP: "fir128"}); err == nil {
+		t.Error("Offer on a consumed service must fail")
+	}
+	if err := used.AdvanceTo(sim.Millisecond); err == nil {
+		t.Error("AdvanceTo on a consumed service must fail")
+	}
+}
+
+// TestServeZeroDeadlineNeverMisses covers the Deadline == 0 path end to
+// end: a request without a latency budget must never be counted as a
+// deadline miss, however long it actually queued — globally and in the
+// per-tenant break-down.
+func TestServeZeroDeadlineNeverMisses(t *testing.T) {
+	c := newServiceController(t)
+	// No cache + slow staging: every request pays tens of milliseconds, so
+	// any spurious deadline accounting would trip immediately.
+	s := NewService(c, ServiceConfig{StageBytesPerSec: 20e6})
+	spec := workload.ArrivalSpec{RatePerSec: 400, Tenants: []string{"a", "b"}} // Deadline: 0
+	tr := mustTrace(t)(spec.Generate(11, 24, []string{"RP1", "RP2"}, []string{"fir128", "sha3"}))
+	stats, err := s.Serve(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed == 0 {
+		t.Fatal("stream must complete work")
+	}
+	if stats.SojournUS.Max() < 1000 {
+		t.Fatalf("test premise broken: sojourns too fast (max %v us) to catch spurious misses", stats.SojournUS.Max())
+	}
+	if stats.DeadlineMisses != 0 {
+		t.Errorf("zero-deadline stream reported %d deadline misses", stats.DeadlineMisses)
+	}
+	for _, name := range stats.TenantNames() {
+		if n := stats.Tenants[name].DeadlineMisses; n != 0 {
+			t.Errorf("tenant %s reported %d deadline misses on a zero-deadline stream", name, n)
+		}
 	}
 }
 

@@ -38,6 +38,17 @@ type CacheStats struct {
 	ResidentBytes, PeakBytes int64
 }
 
+// HitRatio is Hits / (Hits + Misses), the fraction of lookups served from
+// DRAM. A run with no lookups at all — including the disabled-cache
+// ablation before any Get — reports 0, not NaN.
+func (s CacheStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
 // NewCache builds a cache with the given byte budget: < 0 is unlimited,
 // 0 disables caching entirely (the ablation mode).
 func NewCache(budgetBytes int64) *Cache {

@@ -185,6 +185,35 @@ func TestCacheUnlimitedHoldsEverything(t *testing.T) {
 	}
 }
 
+func TestCacheHitRatio(t *testing.T) {
+	imgs := buildImages(t, 1)
+	c := NewCache(-1)
+	if got := c.Stats().HitRatio(); got != 0 {
+		t.Errorf("fresh cache HitRatio = %v, want 0 (no division by zero)", got)
+	}
+	c.Get("a") // miss
+	c.Put("a", imgs[0])
+	c.Get("a") // hit
+	c.Get("a") // hit
+	if got := c.Stats().HitRatio(); got != 2.0/3.0 {
+		t.Errorf("HitRatio = %v, want 2/3", got)
+	}
+
+	// The disabled-cache ablation (budget 0): every Get misses, so the
+	// ratio must be a clean 0 — both before any lookup and after many.
+	off := NewCache(0)
+	if got := off.Stats().HitRatio(); got != 0 {
+		t.Errorf("disabled cache HitRatio = %v before lookups, want 0", got)
+	}
+	off.Put("a", imgs[0])
+	for i := 0; i < 5; i++ {
+		off.Get("a")
+	}
+	if got := off.Stats().HitRatio(); got != 0 {
+		t.Errorf("disabled cache HitRatio = %v, want 0", got)
+	}
+}
+
 func TestCacheOversizeImageDropped(t *testing.T) {
 	imgs := buildImages(t, 1)
 	c := NewCache(int64(imgs[0].Size()) - 1)

@@ -78,9 +78,10 @@ func (s *Sample) StdDev() float64 {
 	return math.Sqrt(ss / float64(n-1))
 }
 
-// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using nearest-rank,
-// or 0 for an empty sample.
-func (s *Sample) Percentile(p float64) float64 {
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) using nearest-rank, or 0
+// for an empty sample. The service-layer reports read their p50/p95/p99 off
+// this accessor: Quantile(0.99) is exactly Percentile(99).
+func (s *Sample) Quantile(q float64) float64 {
 	n := len(s.values)
 	if n == 0 {
 		return 0
@@ -89,17 +90,34 @@ func (s *Sample) Percentile(p float64) float64 {
 		sort.Float64s(s.values)
 		s.sorted = true
 	}
-	if p <= 0 {
+	if q <= 0 {
 		return s.values[0]
 	}
-	if p >= 100 {
+	if q >= 1 {
 		return s.values[n-1]
 	}
-	rank := int(math.Ceil(p / 100 * float64(n)))
+	rank := int(math.Ceil(q * float64(n)))
 	if rank < 1 {
 		rank = 1
 	}
 	return s.values[rank-1]
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using nearest-rank,
+// or 0 for an empty sample.
+func (s *Sample) Percentile(p float64) float64 { return s.Quantile(p / 100) }
+
+// Merge folds every observation of o into s — how a fleet aggregates
+// per-board latency samples into one distribution. Quantiles of the merged
+// sample are order-independent (the sample sorts before ranking), so a
+// merge in board-index order is byte-stable whatever schedule produced the
+// parts.
+func (s *Sample) Merge(o *Sample) {
+	if o == nil || len(o.values) == 0 {
+		return
+	}
+	s.values = append(s.values, o.values...)
+	s.sorted = false
 }
 
 // String summarises the sample for logs. Tail latency is first-class in the

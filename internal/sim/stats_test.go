@@ -68,6 +68,75 @@ func TestSamplePercentileAfterAdd(t *testing.T) {
 	}
 }
 
+func TestSampleQuantile(t *testing.T) {
+	// Known uniform 1…100: nearest-rank quantiles are exact integers.
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{-1, 1}, {0, 1}, {0.01, 1}, {0.5, 50}, {0.95, 95}, {0.99, 99}, {1, 100}, {2, 100},
+	}
+	for _, tt := range tests {
+		if got := s.Quantile(tt.q); got != tt.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	// Quantile and Percentile are the same accessor at two scales.
+	for _, p := range []float64{0, 13, 50, 95, 99, 100} {
+		if s.Quantile(p/100) != s.Percentile(p) {
+			t.Errorf("Quantile(%v) = %v != Percentile(%v) = %v", p/100, s.Quantile(p/100), p, s.Percentile(p))
+		}
+	}
+	// A two-sided known distribution: 10 observations of 1 and one of 100 —
+	// the p90 is still 1 (rank ceil(0.9·11) = 10), the p99 catches the tail.
+	var tail Sample
+	for i := 0; i < 10; i++ {
+		tail.Add(1)
+	}
+	tail.Add(100)
+	if got := tail.Quantile(0.90); got != 1 {
+		t.Errorf("tail Quantile(0.90) = %v, want 1", got)
+	}
+	if got := tail.Quantile(0.99); got != 100 {
+		t.Errorf("tail Quantile(0.99) = %v, want 100", got)
+	}
+	var empty Sample
+	if empty.Quantile(0.99) != 0 {
+		t.Error("empty Quantile should be 0")
+	}
+}
+
+func TestSampleMerge(t *testing.T) {
+	var a, b Sample
+	for i := 1; i <= 50; i++ {
+		a.Add(float64(i))
+	}
+	for i := 51; i <= 100; i++ {
+		b.Add(float64(i))
+	}
+	_ = a.Quantile(0.5) // sort a first: Merge must invalidate the sorted flag
+	a.Merge(&b)
+	if a.N() != 100 {
+		t.Fatalf("merged N = %d, want 100", a.N())
+	}
+	if got := a.Quantile(0.99); got != 99 {
+		t.Errorf("merged Quantile(0.99) = %v, want 99", got)
+	}
+	if got := a.Max(); got != 100 {
+		t.Errorf("merged Max = %v, want 100", got)
+	}
+	a.Merge(nil) // nil and empty merges are no-ops
+	var empty Sample
+	a.Merge(&empty)
+	if a.N() != 100 {
+		t.Errorf("no-op merges changed N to %d", a.N())
+	}
+}
+
 func TestSampleMeanBoundsProperty(t *testing.T) {
 	prop := func(vals []float64) bool {
 		var s Sample

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/sim"
 )
@@ -28,6 +29,37 @@ type ArrivalSpec struct {
 	Tenants []string
 	// Deadline is the per-request latency budget (0 = none).
 	Deadline sim.Duration
+	// Skew > 0 makes popularity Zipf-like instead of uniform: the i-th
+	// entry of each list (RPs, ASPs, Tenants) is drawn with weight
+	// 1/(i+1)^Skew, so early entries are hot and late ones cold — the
+	// skewed image/tenant popularity a routing study needs. 0 keeps the
+	// uniform draws (and the exact historical streams).
+	Skew float64
+}
+
+// skewPicker returns a deterministic index picker over n entries: uniform
+// when skew ≤ 0, Zipf-like (weight 1/(i+1)^skew) otherwise. Either way it
+// consumes exactly one RNG draw per pick, so traces with and without skew
+// stay seed-aligned.
+func skewPicker(rng *sim.RNG, n int, skew float64) func() int {
+	if skew <= 0 {
+		return func() int { return rng.Intn(n) }
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), skew)
+		cum[i] = total
+	}
+	return func() int {
+		u := rng.Float64() * total
+		for i, c := range cum {
+			if u < c {
+				return i
+			}
+		}
+		return n - 1
+	}
 }
 
 // Generate produces n requests over the given RPs and ASPs. The trace is a
@@ -51,6 +83,9 @@ func (sp ArrivalSpec) Generate(seed uint64, n int, rps, asps []string) (Trace, e
 		intraGap = sim.Duration(float64(meanGap) / sp.BurstFactor)
 		interGap = sim.Duration(float64(sp.BurstLen)*float64(meanGap) - float64(sp.BurstLen-1)*float64(intraGap))
 	}
+	pickRP := skewPicker(rng, len(rps), sp.Skew)
+	pickASP := skewPicker(rng, len(asps), sp.Skew)
+	pickTenant := skewPicker(rng, len(sp.Tenants), sp.Skew)
 	tr := make(Trace, 0, n)
 	at := sim.Duration(0)
 	for i := 0; i < n; i++ {
@@ -64,12 +99,12 @@ func (sp ArrivalSpec) Generate(seed uint64, n int, rps, asps []string) (Trace, e
 		}
 		req := Request{
 			At:       at,
-			RP:       rps[rng.Intn(len(rps))],
-			ASP:      asps[rng.Intn(len(asps))],
+			RP:       rps[pickRP()],
+			ASP:      asps[pickASP()],
 			Deadline: sp.Deadline,
 		}
 		if len(sp.Tenants) > 0 {
-			req.Tenant = sp.Tenants[rng.Intn(len(sp.Tenants))]
+			req.Tenant = sp.Tenants[pickTenant()]
 		}
 		tr = append(tr, req)
 	}

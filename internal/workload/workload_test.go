@@ -270,6 +270,78 @@ func TestArrivalSpecTenantsAndDeadlines(t *testing.T) {
 	}
 }
 
+// TestArrivalSpecBurstFactorWithoutBurstLen covers the degenerate burst
+// shapes: BurstFactor > 1 with BurstLen ≤ 0 (or 1) cannot form bursts, so
+// the stream must quietly fall back to pure Poisson at the requested mean
+// rate — not panic on a modulo by zero or emit a zero-gap stream.
+func TestArrivalSpecBurstFactorWithoutBurstLen(t *testing.T) {
+	rps := []string{"RP1", "RP2"}
+	asps := []string{"fir128", "sha3"}
+	const rate = 500.0
+	for _, blen := range []int{0, -3, 1} {
+		spec := ArrivalSpec{RatePerSec: rate, BurstFactor: 4, BurstLen: blen}
+		tr, err := spec.Generate(11, 4000, rps, asps)
+		if err != nil {
+			t.Fatalf("BurstLen %d: %v", blen, err)
+		}
+		if err := tr.Validate(rps, asps); err != nil {
+			t.Fatalf("BurstLen %d: %v", blen, err)
+		}
+		measured := float64(len(tr)) / tr[len(tr)-1].At.Seconds()
+		if measured < 0.95*rate || measured > 1.05*rate {
+			t.Errorf("BurstLen %d: measured rate %.1f req/s, want %.0f ±5%%", blen, measured, rate)
+		}
+		// The degenerate spec must be byte-identical to the plain Poisson
+		// stream — the factor is ignored, not half-applied.
+		plain, err := OpenPoisson(11, 4000, rate, rps, asps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range tr {
+			if tr[i] != plain[i] {
+				t.Fatalf("BurstLen %d: request %d diverges from pure Poisson: %+v vs %+v",
+					blen, i, tr[i], plain[i])
+			}
+		}
+	}
+}
+
+func TestArrivalSpecSkewedPopularity(t *testing.T) {
+	rps := []string{"RP1", "RP2", "RP3"}
+	asps := []string{"hot", "warm", "cold", "frozen"}
+	spec := ArrivalSpec{RatePerSec: 100, Skew: 1.2, Tenants: []string{"big", "small"}}
+	// The ASP list here is synthetic — skip trace validation, count draws.
+	tr, err := spec.Generate(7, 4000, rps, asps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	tenants := map[string]int{}
+	for _, req := range tr {
+		counts[req.ASP]++
+		tenants[req.Tenant]++
+	}
+	if !(counts["hot"] > counts["warm"] && counts["warm"] > counts["cold"] && counts["cold"] > counts["frozen"]) {
+		t.Errorf("skewed draw not monotone over the list: %v", counts)
+	}
+	if counts["hot"] < 2*counts["frozen"] {
+		t.Errorf("skew 1.2 should separate head from tail clearly: %v", counts)
+	}
+	if tenants["big"] <= tenants["small"] {
+		t.Errorf("tenant popularity should skew too: %v", tenants)
+	}
+	// Determinism under a fixed seed.
+	tr2, err := spec.Generate(7, 4000, rps, asps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr {
+		if tr[i] != tr2[i] {
+			t.Fatalf("request %d differs across identical seeds", i)
+		}
+	}
+}
+
 func TestArrivalSpecRejectsBadInputs(t *testing.T) {
 	if _, err := OpenPoisson(1, 10, 0, []string{"RP1"}, []string{"fir128"}); err == nil {
 		t.Error("zero rate should fail")

@@ -67,13 +67,15 @@ func (v BoardVariant) apply(cfg *experiments.Config) error {
 type CampaignOption func(*campaignConfig)
 
 type campaignConfig struct {
-	seed    uint64
-	workers int
-	ids     []string
-	variant BoardVariant
-	freqs   []float64
-	temps   []float64
-	rates   []float64
+	seed       uint64
+	workers    int
+	ids        []string
+	variant    BoardVariant
+	freqs      []float64
+	temps      []float64
+	rates      []float64
+	fleetSizes []int
+	router     string
 }
 
 // WithCampaignSeed fixes the deterministic seed (default 42, the suite's
@@ -117,6 +119,20 @@ func WithTemperatureGrid(tempsC ...float64) CampaignOption {
 // deterministically, independent of worker count.
 func WithRateGrid(ratesPerSec ...float64) CampaignOption {
 	return func(c *campaignConfig) { c.rates = append([]float64(nil), ratesPerSec...) }
+}
+
+// WithFleetGrid overrides the fleet-size axis of the scale-out scenario
+// (E13). The shard plan reshapes with the grid — deterministically,
+// independent of worker count.
+func WithFleetGrid(sizes ...int) CampaignOption {
+	return func(c *campaignConfig) { c.fleetSizes = append([]int(nil), sizes...) }
+}
+
+// WithFleetRouter selects the routing policy the scale-out scenario (E13)
+// serves through (default least-outstanding; see Routers). The routing
+// scenario (E14) sweeps every policy regardless.
+func WithFleetRouter(name string) CampaignOption {
+	return func(c *campaignConfig) { c.router = name }
 }
 
 // Campaign runs a set of registered scenarios, sharded across a pool of
@@ -185,10 +201,12 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 		return nil, err
 	}
 	ecfg := experiments.Config{
-		Seed:  c.cfg.seed,
-		Freqs: c.cfg.freqs,
-		Temps: c.cfg.temps,
-		Rates: c.cfg.rates,
+		Seed:       c.cfg.seed,
+		Freqs:      c.cfg.freqs,
+		Temps:      c.cfg.temps,
+		Rates:      c.cfg.rates,
+		FleetSizes: c.cfg.fleetSizes,
+		Router:     c.cfg.router,
 	}
 	if err := c.cfg.variant.apply(&ecfg); err != nil {
 		return nil, err

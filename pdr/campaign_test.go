@@ -225,6 +225,46 @@ func TestScenariosListing(t *testing.T) {
 	}
 }
 
+func TestCampaignFleetGridOverride(t *testing.T) {
+	res, err := pdr.NewCampaign(
+		pdr.WithCampaignSeed(42),
+		pdr.WithScenarios("E13"),
+		pdr.WithFleetGrid(1, 2),
+		pdr.WithFleetRouter("affinity"),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 compositions × (2 sizes + the autoscaled point).
+	if res.Units != 6 {
+		t.Errorf("units = %d, want 6", res.Units)
+	}
+	rep := res.Reports[0]
+	if rep.ID != "E13" || len(rep.Rows) != 6 {
+		t.Errorf("report %s has %d rows, want 6", rep.ID, len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row[2] != "affinity" {
+			t.Errorf("router column = %q, want the WithFleetRouter override", row[2])
+		}
+	}
+	// An unknown router surfaces through the shard error path, and a
+	// non-positive fleet size errors instead of panicking a worker.
+	if _, err := pdr.NewCampaign(
+		pdr.WithScenarios("E13"),
+		pdr.WithFleetGrid(1),
+		pdr.WithFleetRouter("nope"),
+	).Run(context.Background()); err == nil || !strings.Contains(err.Error(), "unknown router") {
+		t.Errorf("unknown router accepted (err = %v)", err)
+	}
+	if _, err := pdr.NewCampaign(
+		pdr.WithScenarios("E13"),
+		pdr.WithFleetGrid(-1),
+	).Run(context.Background()); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("negative fleet size accepted (err = %v)", err)
+	}
+}
+
 func TestCampaignRateGridOverride(t *testing.T) {
 	res, err := pdr.NewCampaign(
 		pdr.WithCampaignSeed(42),

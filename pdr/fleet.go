@@ -1,0 +1,187 @@
+package pdr
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sched"
+)
+
+// Re-exported fleet types.
+type (
+	// FleetStats is the merged outcome of a fleet run: per-board break-down,
+	// aggregate service statistics and the autoscaler trajectory.
+	FleetStats = cluster.FleetStats
+	// BoardStats is one board's view of a fleet run.
+	BoardStats = cluster.BoardStats
+	// ScaleEvent is one autoscaler decision.
+	ScaleEvent = cluster.ScaleEvent
+	// AutoscalePolicy bounds and thresholds for the reactive autoscaler.
+	AutoscalePolicy = cluster.AutoscalerConfig
+)
+
+// Routers lists the fleet routing policies Serve accepts, in presentation
+// order: round-robin, least-outstanding (join-shortest-queue), weighted
+// (by platform capacity) and affinity (consistent hashing on the requested
+// bitstream image, so the same image keeps hitting the same board's cache).
+func Routers() []string { return cluster.RouterNames() }
+
+// FleetOptions configures NewFleet. The zero value is a usable two-board
+// ZedBoard fleet with round-robin routing.
+type FleetOptions struct {
+	// Boards lists the platform profile of each board in index order
+	// (see Platforms; "" entries mean the default zedboard). Empty means
+	// two zedboards.
+	Boards []string
+	// Seed fixes the fleet's deterministic seed (default 1); each board's
+	// RNG stream derives from it and the board index.
+	Seed uint64
+	// FreqMHz is the ICAP over-clock applied to every board (default 200,
+	// the paper's recommended operating point; < 0 keeps the nominal 100).
+	FreqMHz float64
+	// Router is the routing policy name ("" = round-robin; see Routers).
+	Router string
+	// Policy is the per-board dispatch policy name ("" = fcfs; see
+	// Policies).
+	Policy string
+	// CacheBudgetBytes bounds each board's DRAM bitstream cache with the
+	// System.Serve semantics: 0 uses the board profile's derived budget,
+	// < 0 disables the cache entirely.
+	CacheBudgetBytes int64
+	// QueueCap is the per-RP admission-control depth (0 = 32).
+	QueueCap int
+	// Prewarm stages the listed ASPs into every board's cache before each
+	// stream (steady-state residency).
+	Prewarm []string
+	// Autoscale, when non-nil, starts each run at Min active boards and
+	// reacts to windowed shed-rate and p99 signals. Nil keeps the whole
+	// fleet active.
+	Autoscale *AutoscalePolicy
+}
+
+// Fleet is the multi-board counterpart of System: N simulated boards
+// behind a request router. Serve is System.Serve one level up — the same
+// Trace in, service statistics out — with each call serving on freshly
+// booted boards, so a Fleet value is reusable and every run is a pure
+// function of (options, trace).
+type Fleet struct {
+	opts   FleetOptions
+	common []string // the boards' shared RP set, computed at NewFleet
+}
+
+// NewFleet validates the options and returns a fleet handle. Board
+// construction happens per Serve call (fresh boards per run, exactly like
+// System.Serve's fresh service); validation — platforms, the RP-plan
+// intersection, router, dispatch policy, autoscaler bounds — happens here
+// without booting anything, so a misconfigured fleet fails fast.
+func NewFleet(o FleetOptions) (*Fleet, error) {
+	f := &Fleet{opts: o}
+	specs := f.specs()
+	common, err := cluster.CommonRPs(specs)
+	if err != nil {
+		return nil, fmt.Errorf("pdr: %w", err)
+	}
+	f.common = common
+	if o.Router != "" {
+		if _, err := cluster.RouterByName(o.Router); err != nil {
+			return nil, fmt.Errorf("pdr: %w", err)
+		}
+	}
+	if o.Policy != "" {
+		if _, err := sched.PolicyByName(o.Policy); err != nil {
+			return nil, fmt.Errorf("pdr: %w", err)
+		}
+	}
+	if o.Autoscale != nil {
+		if err := o.Autoscale.Validate(len(specs)); err != nil {
+			return nil, fmt.Errorf("pdr: %w", err)
+		}
+	}
+	return f, nil
+}
+
+// specs resolves the board list (the zero value means two zedboards).
+func (f *Fleet) specs() []cluster.BoardSpec {
+	boards := f.opts.Boards
+	if len(boards) == 0 {
+		boards = []string{"", ""}
+	}
+	specs := make([]cluster.BoardSpec, len(boards))
+	for i, p := range boards {
+		specs[i] = cluster.BoardSpec{Platform: p}
+	}
+	return specs
+}
+
+// build assembles a fresh cluster fleet from the options.
+func (f *Fleet) build() (*cluster.Fleet, error) {
+	o := f.opts
+	specs := f.specs()
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	freq := o.FreqMHz
+	switch {
+	case freq == 0:
+		freq = 200
+	case freq < 0:
+		freq = 0
+	}
+	var router cluster.Router
+	if o.Router != "" {
+		var err error
+		if router, err = cluster.RouterByName(o.Router); err != nil {
+			return nil, fmt.Errorf("pdr: %w", err)
+		}
+	}
+	budget := o.CacheBudgetBytes // cluster shares the System.Serve semantics
+	cf, err := cluster.New(cluster.FleetConfig{
+		Boards:     specs,
+		Seed:       seed,
+		FreqMHz:    freq,
+		Router:     router,
+		Autoscaler: o.Autoscale,
+		Service: cluster.ServiceTemplate{
+			Policy:           o.Policy,
+			CacheBudgetBytes: budget,
+			QueueCap:         o.QueueCap,
+			Prewarm:          o.Prewarm,
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pdr: %w", err)
+	}
+	return cf, nil
+}
+
+// Size returns the fleet's board count.
+func (f *Fleet) Size() int { return len(f.specs()) }
+
+// RPNames lists the partitions every fleet board serves — the servable RP
+// set a fleet trace must stay within (mixed fleets intersect their boards'
+// RP plans).
+func (f *Fleet) RPNames() []string { return append([]string(nil), f.common...) }
+
+// OpenTrace generates an open-loop arrival stream over the fleet's common
+// RPs from the spec — the fleet counterpart of System.OpenTrace.
+func (f *Fleet) OpenTrace(spec ArrivalSpec, seed uint64, n int, asps []string) (Trace, error) {
+	return spec.Generate(seed, n, f.RPNames(), asps)
+}
+
+// Serve routes an open-loop request stream across freshly booted boards:
+// the router assigns each arrival to a board before it enters that board's
+// per-RP queues, boards serve independently (each with its own queues,
+// dispatch policy and bitstream cache), and the merged statistics come
+// back. Repeated calls with the same trace produce byte-identical results.
+func (f *Fleet) Serve(tr Trace) (*FleetStats, error) {
+	cf, err := f.build()
+	if err != nil {
+		return nil, err
+	}
+	st, err := cf.Serve(tr)
+	if err != nil {
+		return nil, fmt.Errorf("pdr: %w", err)
+	}
+	return st, nil
+}

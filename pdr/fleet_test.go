@@ -1,0 +1,137 @@
+package pdr_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/pdr"
+)
+
+var fleetASPs = []string{"fir128", "sha3", "aes-gcm", "fft1k"}
+
+func TestFleetServeEndToEnd(t *testing.T) {
+	f, err := pdr.NewFleet(pdr.FleetOptions{
+		Boards:  []string{"zedboard", "zedboard", "zedboard"},
+		Seed:    42,
+		Router:  "least-outstanding",
+		Prewarm: fleetASPs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := f.OpenTrace(pdr.ArrivalSpec{
+		RatePerSec: 900,
+		Tenants:    []string{"video", "crypto"},
+		Deadline:   20 * sim.Millisecond,
+	}, 7, 96, fleetASPs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := f.Serve(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Aggregate.Offered != 96 {
+		t.Errorf("offered = %d, want 96", st.Aggregate.Offered)
+	}
+	if got := st.Aggregate.Completed + st.Aggregate.Shed + st.Aggregate.Failures; got != 96 {
+		t.Errorf("accounted = %d, want 96", got)
+	}
+	if len(st.Boards) != 3 {
+		t.Errorf("boards = %d, want 3", len(st.Boards))
+	}
+	// Tenant accounting merges across boards.
+	total := 0
+	for _, name := range st.Aggregate.TenantNames() {
+		total += st.Aggregate.Tenants[name].Offered
+	}
+	if total != 96 {
+		t.Errorf("tenant offered sum = %d, want 96", total)
+	}
+	// A Fleet is reusable: each Serve runs on fresh boards, so a repeat is
+	// byte-identical.
+	st2, err := f.Serve(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, st2) {
+		t.Error("repeated Fleet.Serve diverged — runs must be pure functions of (options, trace)")
+	}
+}
+
+func TestFleetDefaultsAndMixedRPs(t *testing.T) {
+	f, err := pdr.NewFleet(pdr.FleetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 2 {
+		t.Errorf("default fleet size = %d, want 2", f.Size())
+	}
+	if got := f.RPNames(); len(got) != 4 {
+		t.Errorf("default (zedboard) fleet RPs = %v, want 4 partitions", got)
+	}
+	mixed, err := pdr.NewFleet(pdr.FleetOptions{Boards: []string{"zc706", "zybo-z7-10"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mixed.RPNames(); len(got) != 3 {
+		t.Errorf("mixed fleet common RPs = %v, want the 3-partition intersection", got)
+	}
+}
+
+func TestFleetAutoscaleOption(t *testing.T) {
+	f, err := pdr.NewFleet(pdr.FleetOptions{
+		Boards: []string{"", "", "", ""},
+		Seed:   42,
+		Router: "least-outstanding",
+		Autoscale: &pdr.AutoscalePolicy{
+			Window:  20 * sim.Millisecond,
+			Min:     1,
+			Max:     4,
+			ShedHi:  0.01,
+			P99HiUS: 10_000,
+		},
+		Prewarm: fleetASPs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := f.OpenTrace(pdr.ArrivalSpec{RatePerSec: 2000, Deadline: 20 * sim.Millisecond}, 7, 160, fleetASPs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := f.Serve(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PeakActive <= 1 || len(st.ScaleEvents) == 0 {
+		t.Errorf("autoscaler never reacted: peak %d, %d events", st.PeakActive, len(st.ScaleEvents))
+	}
+}
+
+func TestFleetOptionErrors(t *testing.T) {
+	if _, err := pdr.NewFleet(pdr.FleetOptions{Boards: []string{"nope"}}); err == nil || !strings.Contains(err.Error(), "unknown platform") {
+		t.Errorf("unknown platform accepted (err = %v)", err)
+	}
+	if _, err := pdr.NewFleet(pdr.FleetOptions{Router: "nope"}); err == nil || !strings.Contains(err.Error(), "unknown router") {
+		t.Errorf("unknown router accepted (err = %v)", err)
+	}
+	if _, err := pdr.NewFleet(pdr.FleetOptions{Policy: "nope"}); err == nil {
+		t.Error("unknown dispatch policy accepted")
+	}
+	if _, err := pdr.NewFleet(pdr.FleetOptions{
+		Autoscale: &pdr.AutoscalePolicy{Window: sim.Millisecond, Min: 1, Max: 9},
+	}); err == nil {
+		t.Error("autoscaler bounds beyond the fleet accepted")
+	}
+}
+
+func TestRoutersListing(t *testing.T) {
+	names := pdr.Routers()
+	want := []string{"round-robin", "least-outstanding", "weighted", "affinity"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("Routers() = %v, want %v", names, want)
+	}
+}
