@@ -344,6 +344,33 @@ func BenchmarkRoutingPolicies(b *testing.B) {
 	}
 }
 
+// BenchmarkChaosStorm regenerates the chaos scenario (E15): every routing
+// policy serving the same warm fleet through the same seeded fault storm
+// with the self-healing machinery on. Metrics: the headline spread between
+// affinity (degrades worst — a crash funnels its keys onto one ring
+// successor) and least-outstanding (degrades gracefully — queue depth
+// already encodes board health), in goodput and p99.
+func BenchmarkChaosStorm(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = benchScenario(b, "E15")
+	}
+	series := map[string][]sim.Point{}
+	for _, s := range rep.Series {
+		series[s.Name] = s.Points
+	}
+	aff, jsq := series["e15_affinity"], series["e15_least-outstanding"]
+	if len(aff) == 3 && len(jsq) == 3 {
+		b.ReportMetric(100*aff[0].Y, "affinity-avail-%")
+		b.ReportMetric(100*jsq[0].Y, "jsq-avail-%")
+		b.ReportMetric(aff[1].Y, "affinity-goodput-req/s")
+		b.ReportMetric(jsq[1].Y, "jsq-goodput-req/s")
+		if aff[2].Y > 0 {
+			b.ReportMetric(aff[2].Y/jsq[2].Y, "p99-degradation-ratio")
+		}
+	}
+}
+
 // --- substrate micro-benchmarks ---
 
 func benchFrames(n int) [][]uint32 {

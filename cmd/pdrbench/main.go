@@ -13,6 +13,9 @@
 //	pdrbench -parallel 0          # one worker per CPU
 //	pdrbench -fleet 1,2,4         # reshape the E13 fleet-size axis
 //	pdrbench -router affinity     # E13 routing policy
+//	pdrbench -chaos-crashes 3     # reshape the E15 fault storm
+//	                              # (-chaos-excursions, -chaos-glitches too;
+//	                              # 0 = standard storm, negative = none)
 //	pdrbench -json                # machine-readable reports
 //	pdrbench -md > EXPERIMENTS.md # regenerate the committed artefact file
 //	pdrbench -csv out/            # also write figure series as CSV files
@@ -37,16 +40,19 @@ import (
 )
 
 type options struct {
-	run      string
-	platform string
-	parallel int
-	seed     uint64
-	jsonOut  bool
-	mdOut    bool
-	list     bool
-	csvDir   string
-	fleet    string
-	router   string
+	run             string
+	platform        string
+	parallel        int
+	seed            uint64
+	jsonOut         bool
+	mdOut           bool
+	list            bool
+	csvDir          string
+	fleet           string
+	router          string
+	chaosCrashes    int
+	chaosExcursions int
+	chaosGlitches   int
 }
 
 func main() {
@@ -61,6 +67,9 @@ func main() {
 	flag.StringVar(&opts.csvDir, "csv", "", "directory to write figure CSV series into")
 	flag.StringVar(&opts.fleet, "fleet", "", "comma-separated fleet sizes for the scale-out scenario E13 (e.g. 1,2,4)")
 	flag.StringVar(&opts.router, "router", "", "routing policy for E13 (round-robin|least-outstanding|weighted|affinity)")
+	flag.IntVar(&opts.chaosCrashes, "chaos-crashes", 0, "board outages in the E15 storm (0 = standard, negative = none)")
+	flag.IntVar(&opts.chaosExcursions, "chaos-excursions", 0, "thermal excursions in the E15 storm (0 = standard, negative = none)")
+	flag.IntVar(&opts.chaosGlitches, "chaos-glitches", 0, "CRC glitch bursts in the E15 storm (0 = standard, negative = none)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -114,6 +123,9 @@ func realMain(ctx context.Context, w io.Writer, opts options) error {
 			return fmt.Errorf("unknown router %q (want %s)", opts.router, strings.Join(pdr.Routers(), "|"))
 		}
 		copts = append(copts, pdr.WithFleetRouter(opts.router))
+	}
+	if opts.chaosCrashes != 0 || opts.chaosExcursions != 0 || opts.chaosGlitches != 0 {
+		copts = append(copts, pdr.WithChaosStorm(opts.chaosCrashes, opts.chaosExcursions, opts.chaosGlitches))
 	}
 	if opts.run != "" && opts.run != "all" {
 		var ids []string

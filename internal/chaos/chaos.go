@@ -1,0 +1,192 @@
+// Package chaos generates seeded fault schedules for the fleet layer: board
+// crashes and recoveries, thermal excursions (the paper's Sec. IV-A heat-gun
+// stress aimed at a running fleet) and configuration-memory upsets that trip
+// the CRC read-back monitor mid-run. A schedule is a pure function of its
+// Config — same (seed, shape) ⇒ byte-identical event list — so a chaos run
+// stays as reproducible as a calm one: the storm is part of the experiment
+// configuration, not an external source of nondeterminism.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies one fault event.
+type Kind int
+
+const (
+	// BoardDown crashes a board: its queues and in-flight work are lost,
+	// its DRAM bitstream cache and resident ASPs die with it, and it
+	// refuses connections until the paired BoardUp.
+	BoardDown Kind = iota
+	// BoardUp recovers a crashed board (cold caches, empty partitions).
+	BoardUp
+	// HeatOn starts a thermal excursion: the heat gun drives the die to
+	// TempC (Sec. IV-A), pushing the board into its thermal-throttle regime.
+	HeatOn
+	// HeatOff ends the excursion; the die cools back toward ambient.
+	HeatOff
+	// CRCGlitch flips bits in Frames configuration frames of a resident
+	// partition — the over-clock/SEU corruption the CRC read-back monitor
+	// exists to catch. The service raises a CRC alarm and repairs by
+	// scrubbing or full reload at the next dispatch.
+	CRCGlitch
+)
+
+// String names the kind for logs and rendered schedules.
+func (k Kind) String() string {
+	switch k {
+	case BoardDown:
+		return "board-down"
+	case BoardUp:
+		return "board-up"
+	case HeatOn:
+		return "heat-on"
+	case HeatOff:
+		return "heat-off"
+	case CRCGlitch:
+		return "crc-glitch"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	// At is the fault instant on the arrival timeline.
+	At sim.Duration
+	// Board is the target board index.
+	Board int
+	// Kind classifies the fault.
+	Kind Kind
+	// TempC is the excursion target (HeatOn only).
+	TempC float64
+	// Frames is the upset count (CRCGlitch only).
+	Frames int
+}
+
+// Config shapes a fault storm. The zero value of each count disables that
+// fault class; Schedule fills the remaining defaults.
+type Config struct {
+	// Seed drives the storm's own RNG stream (independent of the workload
+	// and platform streams, so adding chaos never perturbs them).
+	Seed uint64
+	// Horizon is the arrival-timeline span faults are drawn from. Fault
+	// instants land in [Horizon/16, Horizon) so the fleet is warm when the
+	// storm hits; outages and excursions are clipped to end by Horizon.
+	Horizon sim.Duration
+	// Boards is the fleet size targets are drawn from.
+	Boards int
+
+	// Crashes is the number of BoardDown/BoardUp pairs; each outage lasts
+	// Outage (default Horizon/4).
+	Crashes int
+	Outage  sim.Duration
+
+	// Excursions is the number of HeatOn/HeatOff pairs; each drives the die
+	// to ExcursionTempC (default 85 °C) for Dwell (default Horizon/4).
+	Excursions     int
+	ExcursionTempC float64
+	Dwell          sim.Duration
+
+	// Glitches is the number of CRCGlitch events, each upsetting
+	// GlitchFrames frames (default 1).
+	Glitches     int
+	GlitchFrames int
+}
+
+// Validate checks the shape before a schedule is drawn.
+func (c *Config) Validate() error {
+	switch {
+	case c.Boards < 1:
+		return fmt.Errorf("chaos: storm needs at least one board, got %d", c.Boards)
+	case c.Horizon <= 0:
+		return fmt.Errorf("chaos: horizon must be positive, got %v", c.Horizon)
+	case c.Crashes < 0 || c.Excursions < 0 || c.Glitches < 0:
+		return fmt.Errorf("chaos: fault counts must be non-negative")
+	}
+	return nil
+}
+
+// Schedule draws the storm: a time-sorted event list that is a pure
+// function of the Config. Paired events (down/up, heat on/off) target the
+// same board and never outlive the horizon.
+func (c Config) Schedule() ([]Event, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	outage := c.Outage
+	if outage <= 0 {
+		outage = c.Horizon / 4
+	}
+	dwell := c.Dwell
+	if dwell <= 0 {
+		dwell = c.Horizon / 4
+	}
+	tempC := c.ExcursionTempC
+	if tempC <= 0 {
+		tempC = 85
+	}
+	frames := c.GlitchFrames
+	if frames <= 0 {
+		frames = 1
+	}
+
+	// All instants land in [lo, hi) so the storm hits a warm fleet and the
+	// paired end event can still fit before the horizon.
+	rng := sim.NewRNG(c.Seed ^ 0xC405)
+	lo := c.Horizon / 16
+	draw := func(span sim.Duration) sim.Duration {
+		hi := c.Horizon - span
+		if hi <= lo {
+			return lo
+		}
+		return lo + sim.Duration(rng.Uint64()%uint64(hi-lo))
+	}
+
+	var events []Event
+	for i := 0; i < c.Crashes; i++ {
+		at := draw(outage)
+		b := rng.Intn(c.Boards)
+		events = append(events,
+			Event{At: at, Board: b, Kind: BoardDown},
+			Event{At: at + outage, Board: b, Kind: BoardUp})
+	}
+	for i := 0; i < c.Excursions; i++ {
+		at := draw(dwell)
+		b := rng.Intn(c.Boards)
+		events = append(events,
+			Event{At: at, Board: b, Kind: HeatOn, TempC: tempC},
+			Event{At: at + dwell, Board: b, Kind: HeatOff})
+	}
+	for i := 0; i < c.Glitches; i++ {
+		events = append(events,
+			Event{At: draw(0), Board: rng.Intn(c.Boards), Kind: CRCGlitch, Frames: frames})
+	}
+
+	// Stable time order: ties break by board then kind, so the sort result
+	// never depends on the generation order above.
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].At != events[j].At {
+			return events[i].At < events[j].At
+		}
+		if events[i].Board != events[j].Board {
+			return events[i].Board < events[j].Board
+		}
+		return events[i].Kind < events[j].Kind
+	})
+	return events, nil
+}
+
+// String renders the event compactly for notes and logs.
+func (e Event) String() string {
+	switch e.Kind {
+	case HeatOn:
+		return fmt.Sprintf("%v board %d %s→%.0f°C", e.At, e.Board, e.Kind, e.TempC)
+	case CRCGlitch:
+		return fmt.Sprintf("%v board %d %s×%d", e.At, e.Board, e.Kind, e.Frames)
+	}
+	return fmt.Sprintf("%v board %d %s", e.At, e.Board, e.Kind)
+}

@@ -1,0 +1,135 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func stormConfig(seed uint64) Config {
+	return Config{
+		Seed:           seed,
+		Horizon:        480 * sim.Millisecond,
+		Boards:         4,
+		Crashes:        2,
+		Outage:         120 * sim.Millisecond,
+		Excursions:     1,
+		ExcursionTempC: 85,
+		Dwell:          100 * sim.Millisecond,
+		Glitches:       2,
+		GlitchFrames:   2,
+	}
+}
+
+func TestScheduleIsPureFunctionOfConfig(t *testing.T) {
+	a, err := stormConfig(7).Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := stormConfig(7).Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config produced different schedules:\n%v\n%v", a, b)
+	}
+	c, err := stormConfig(8).Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestScheduleShapeAndBounds(t *testing.T) {
+	cfg := stormConfig(42)
+	events, err := cfg.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*cfg.Crashes + 2*cfg.Excursions + cfg.Glitches
+	if len(events) != want {
+		t.Fatalf("schedule has %d events, want %d", len(events), want)
+	}
+	counts := map[Kind]int{}
+	for i, e := range events {
+		counts[e.Kind]++
+		if e.At < cfg.Horizon/16 || e.At > cfg.Horizon {
+			t.Errorf("event %d at %v outside [%v, %v]", i, e.At, cfg.Horizon/16, cfg.Horizon)
+		}
+		if e.Board < 0 || e.Board >= cfg.Boards {
+			t.Errorf("event %d targets board %d of %d", i, e.Board, cfg.Boards)
+		}
+		if i > 0 && events[i-1].At > e.At {
+			t.Errorf("schedule not time-sorted at %d: %v after %v", i, e.At, events[i-1].At)
+		}
+		if e.Kind == CRCGlitch && e.Frames != cfg.GlitchFrames {
+			t.Errorf("glitch upsets %d frames, want %d", e.Frames, cfg.GlitchFrames)
+		}
+		if e.Kind == HeatOn && e.TempC != cfg.ExcursionTempC {
+			t.Errorf("excursion targets %.0f °C, want %.0f", e.TempC, cfg.ExcursionTempC)
+		}
+	}
+	if counts[BoardDown] != cfg.Crashes || counts[BoardUp] != cfg.Crashes {
+		t.Errorf("crash pairs = %d/%d, want %d/%d", counts[BoardDown], counts[BoardUp], cfg.Crashes, cfg.Crashes)
+	}
+	if counts[HeatOn] != cfg.Excursions || counts[HeatOff] != cfg.Excursions {
+		t.Errorf("excursion pairs = %d/%d, want %d each", counts[HeatOn], counts[HeatOff], cfg.Excursions)
+	}
+}
+
+// Paired events must target the same board with the end strictly after the
+// start — the fleet applies them in order and a board cannot recover before
+// it went down.
+func TestSchedulePairsEventsPerBoard(t *testing.T) {
+	events, err := stormConfig(3).Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := map[Kind]map[int]sim.Duration{BoardDown: {}, HeatOn: {}}
+	for _, e := range events {
+		switch e.Kind {
+		case BoardDown, HeatOn:
+			open[e.Kind][e.Board] = e.At
+		case BoardUp:
+			start, ok := open[BoardDown][e.Board]
+			if !ok {
+				t.Fatalf("board %d recovers without a crash", e.Board)
+			}
+			if e.At <= start {
+				t.Fatalf("board %d recovers at %v, before its crash at %v", e.Board, e.At, start)
+			}
+			delete(open[BoardDown], e.Board)
+		case HeatOff:
+			if _, ok := open[HeatOn][e.Board]; !ok {
+				t.Fatalf("board %d cools without an excursion", e.Board)
+			}
+			delete(open[HeatOn], e.Board)
+		}
+	}
+}
+
+func TestScheduleValidates(t *testing.T) {
+	cases := []Config{
+		{Boards: 0, Horizon: sim.Second},
+		{Boards: 2, Horizon: 0},
+		{Boards: 2, Horizon: sim.Second, Crashes: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := cfg.Schedule(); err == nil {
+			t.Errorf("case %d: invalid config %+v accepted", i, cfg)
+		}
+	}
+}
+
+func TestScheduleZeroCountsEmpty(t *testing.T) {
+	events, err := (Config{Boards: 2, Horizon: sim.Second}).Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("calm config produced %d events", len(events))
+	}
+}

@@ -93,7 +93,11 @@ func (a *autoscaler) observeCompletion(rel, sojourn sim.Duration) {
 // evaluate decides every window that has fully elapsed by fleet time now
 // and returns the new active count. Decisions are one step per window, so
 // the fleet reacts at the window cadence rather than thrashing per request.
-func (a *autoscaler) evaluate(now sim.Duration, active int) int {
+// down is the number of boards the health layer currently believes dead
+// (0 without a chaos layer): dead capacity is replaced ahead of any
+// shed/p99 signal — a crashed board starves the window's metrics, so
+// waiting for them to trip would react a window late.
+func (a *autoscaler) evaluate(now sim.Duration, active, down int) int {
 	for sim.Duration(a.evaled+1)*a.cfg.Window <= now {
 		w := a.evaled
 		a.evaled++
@@ -110,6 +114,12 @@ func (a *autoscaler) evaluate(now sim.Duration, active int) int {
 		p99 := win.sojournUS.Quantile(0.99)
 		boundary := (sim.Duration(w+1) * a.cfg.Window).Microseconds()
 		switch {
+		case active < a.cfg.Max && down > 0:
+			a.events = append(a.events, ScaleEvent{
+				AtUS: boundary, From: active, To: active + 1,
+				Reason: fmt.Sprintf("replacing dead capacity (%d down)", down),
+			})
+			active++
 		case active < a.cfg.Max && shedFrac > a.cfg.ShedHi:
 			a.events = append(a.events, ScaleEvent{
 				AtUS: boundary, From: active, To: active + 1,

@@ -54,6 +54,10 @@ type ServiceTemplate struct {
 	// Prewarm stages the listed ASPs into every board's cache before the
 	// stream starts (ignored on cache-disabled boards).
 	Prewarm []string
+	// Repair selects how a board clears a CRC read-back alarm: "scrub"
+	// (default, frame-wise rewrite) or "reload" (full partial
+	// reconfiguration).
+	Repair string
 }
 
 // FleetConfig assembles a fleet.
@@ -71,6 +75,10 @@ type FleetConfig struct {
 	// Autoscaler, when non-nil, starts the fleet at Min active boards and
 	// reacts to windowed shed/p99 signals. Nil keeps every board active.
 	Autoscaler *AutoscalerConfig
+	// Chaos, when non-nil, injects the configured fault schedule and turns
+	// on the self-healing machinery (health tracking, failover, hedging).
+	// Nil keeps the historical fault-free semantics bit for bit.
+	Chaos *ChaosConfig
 	// Service is the per-board service template.
 	Service ServiceTemplate
 }
@@ -79,6 +87,8 @@ type FleetConfig struct {
 type board struct {
 	spec     BoardSpec
 	profile  *platform.Profile
+	plat     *zynq.Platform
+	ctrl     *core.Controller
 	svc      *hll.Service
 	hasRP    map[string]bool
 	weight   float64
@@ -93,6 +103,7 @@ type Fleet struct {
 	boards []*board
 	router Router
 	scaler *autoscaler
+	health *health  // nil without a Chaos config
 	common []string // RP names every board serves, in board-0 order
 	served bool
 }
@@ -161,6 +172,12 @@ func New(cfg FleetConfig) (*Fleet, error) {
 		}
 		f.scaler = newAutoscaler(*cfg.Autoscaler)
 	}
+	if cfg.Chaos != nil {
+		if err := cfg.Chaos.Validate(len(cfg.Boards)); err != nil {
+			return nil, err
+		}
+		f.health = newHealth(cfg.Chaos, len(cfg.Boards))
+	}
 	for i, spec := range cfg.Boards {
 		b, err := newBoard(cfg, spec, i)
 		if err != nil {
@@ -220,6 +237,8 @@ func newBoard(cfg FleetConfig, spec BoardSpec, index int) (*board, error) {
 		QueueCap:         queueCap,
 		StageBytesPerSec: prof.IO.SDBytesPerSec,
 		PrewarmASPs:      cfg.Service.Prewarm,
+		Repair:           cfg.Service.Repair,
+		UpsetSeed:        deriveSeed(cfg.Seed, index) ^ 0x5E0D,
 	})
 	weighFreq := cfg.FreqMHz
 	if weighFreq <= 0 {
@@ -228,6 +247,8 @@ func newBoard(cfg FleetConfig, spec BoardSpec, index int) (*board, error) {
 	b := &board{
 		spec:    spec,
 		profile: prof,
+		plat:    p,
+		ctrl:    ctrl,
 		svc:     svc,
 		hasRP:   make(map[string]bool),
 		weight:  prof.MemoryPlateauMBs(weighFreq),
@@ -280,6 +301,7 @@ func (f *Fleet) Serve(tr workload.Trace) (*FleetStats, error) {
 	}
 	peak := active
 
+	stats := &FleetStats{}
 	now := sim.Duration(-1)
 	views := make([]BoardView, len(f.boards))
 	for _, req := range tr {
@@ -291,40 +313,36 @@ func (f *Fleet) Serve(tr workload.Trace) (*FleetStats, error) {
 				}
 			}
 		}
+		if f.health != nil {
+			if err := f.applyChaos(now); err != nil {
+				return nil, err
+			}
+			if err := f.updateHealth(now); err != nil {
+				return nil, err
+			}
+		}
 		if f.scaler != nil {
-			active = f.scaler.evaluate(now, active)
+			down := 0
+			if f.health != nil {
+				down = f.health.downCount()
+			}
+			active = f.scaler.evaluate(now, active, down)
 			if active > peak {
 				peak = active
 			}
 		}
-		for i, b := range f.boards {
-			views[i] = BoardView{
-				Index:       i,
-				Active:      i < active,
-				HasRP:       b.hasRP[req.RP],
-				Outstanding: b.svc.Outstanding(),
-				Queued:      b.svc.Queued(),
-				Assigned:    b.assigned,
-				Weight:      b.weight,
-			}
-		}
-		pick := f.router.Pick(views, req)
-		if pick < 0 || pick >= len(f.boards) || !eligible(views[pick]) {
-			return nil, fmt.Errorf("cluster: router %s picked ineligible board %d for %s@%s",
-				f.router.Name(), pick, req.ASP, req.RP)
-		}
-		b := f.boards[pick]
-		b.assigned++
-		admitted, err := b.svc.Offer(req)
+		stats.Arrivals++
+		f.buildViews(views, req, now, active)
+		admitted, err := f.route(views, req, stats)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: board %d: %w", pick, err)
+			return nil, err
 		}
 		if f.scaler != nil {
 			f.scaler.observeArrival(req.At, !admitted)
 		}
 	}
 
-	stats := &FleetStats{PeakActive: peak, FinalActive: active}
+	stats.PeakActive, stats.FinalActive = peak, active
 	for i, b := range f.boards {
 		st, err := b.svc.Drain()
 		if err != nil {
@@ -342,4 +360,41 @@ func (f *Fleet) Serve(tr workload.Trace) (*FleetStats, error) {
 	}
 	stats.Aggregate = mergeStats(stats.Boards)
 	return stats, nil
+}
+
+// buildViews refreshes the router's per-board snapshot for one arrival.
+// With a chaos layer the health verdicts fold in, with one relaxation: when
+// outlier ejection (Degraded) would leave no eligible board but some board
+// is still up, the ejections are lifted for this pick — ejection is
+// advisory, refusal is not, and shedding the whole fleet because every
+// survivor is momentarily suspect would turn a partial fault into a total
+// outage.
+func (f *Fleet) buildViews(views []BoardView, req workload.Request, now sim.Duration, active int) {
+	anyEligible, anyUp := false, false
+	for i, b := range f.boards {
+		views[i] = BoardView{
+			Index:       i,
+			Active:      i < active,
+			HasRP:       b.hasRP[req.RP],
+			Outstanding: b.svc.Outstanding(),
+			Queued:      b.svc.Queued(),
+			Assigned:    b.assigned,
+			Weight:      b.weight,
+		}
+		if f.health != nil {
+			views[i].Down = f.health.down[i]
+			views[i].Degraded = f.health.degraded(i, now, views[i].Outstanding)
+		}
+		if eligible(views[i]) {
+			anyEligible = true
+		}
+		if views[i].Active && views[i].HasRP && !views[i].Down {
+			anyUp = true
+		}
+	}
+	if f.health != nil && !anyEligible && anyUp {
+		for i := range views {
+			views[i].Degraded = false
+		}
+	}
 }

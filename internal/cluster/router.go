@@ -22,6 +22,12 @@ type BoardView struct {
 	// HasRP reports whether the board's fabric has the request's partition
 	// (mixed fleets span parts with different RP plans).
 	HasRP bool
+	// Down reports the health layer believes the board is dead (refused
+	// connections or a failed probe); Degraded reports it is ejected as an
+	// outlier for now (recent CRC alarm, thermal throttling, or stalled
+	// completions). Both are false in a fleet without a chaos/health layer.
+	Down     bool
+	Degraded bool
 	// Outstanding counts requests offered to the board and not yet
 	// finished; Queued counts the subset still waiting in per-RP queues.
 	Outstanding int
@@ -35,16 +41,21 @@ type BoardView struct {
 
 // Router assigns each arriving request to a board before it enters that
 // board's per-RP queues. Pick receives one view per fleet board in index
-// order and must return the index of an eligible (Active && HasRP) board;
-// at least one is guaranteed. Pick must be deterministic — a fleet run is a
-// pure function of (seed, spec, fleet config).
+// order and returns the index of an eligible (Active && HasRP && healthy)
+// board, or -1 when no board is eligible — the fleet sheds the request at
+// its own door (Unroutable) rather than forcing a policy to invent a
+// target. Pick must be deterministic — a fleet run is a pure function of
+// (seed, spec, fleet config).
 type Router interface {
 	Name() string
 	Pick(views []BoardView, req workload.Request) int
 }
 
-// eligible reports whether the view may receive the request.
-func eligible(v BoardView) bool { return v.Active && v.HasRP }
+// eligible reports whether the view may receive the request. Down and
+// Degraded come from the fleet's health layer; the fleet relaxes Degraded
+// before Pick when every up board is ejected (ejection is advisory,
+// refusal is not), so a policy never has to second-guess the flags.
+func eligible(v BoardView) bool { return v.Active && v.HasRP && !v.Down && !v.Degraded }
 
 // roundRobin cycles through the eligible boards in index order.
 type roundRobin struct{ cursor int }
@@ -60,7 +71,7 @@ func (r *roundRobin) Pick(views []BoardView, _ workload.Request) int {
 			return v.Index
 		}
 	}
-	return 0 // unreachable: the fleet guarantees an eligible board
+	return -1 // no eligible board: shed at the fleet door
 }
 
 // leastOutstanding is join-shortest-queue: the eligible board with the
@@ -170,13 +181,16 @@ func (a *affinity) Pick(views []BoardView, req workload.Request) int {
 	}
 	key := hash64(req.ASP + "@" + req.RP)
 	start := sort.Search(len(a.ring), func(i int) bool { return a.ring[i].hash >= key })
+	// The walk is bounded by the ring length: dead boards' virtual nodes
+	// are skipped, and a fully dead ring falls through to the shed
+	// sentinel instead of orbiting forever.
 	for i := 0; i < len(a.ring); i++ {
 		node := a.ring[(start+i)%len(a.ring)]
 		if eligible(views[node.board]) {
 			return node.board
 		}
 	}
-	return 0 // unreachable: the fleet guarantees an eligible board
+	return -1 // no eligible board: shed at the fleet door
 }
 
 // RoundRobin, LeastOutstanding, Weighted and Affinity are the built-in

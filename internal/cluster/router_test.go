@@ -118,6 +118,93 @@ func TestAffinitySpreadsDistinctImages(t *testing.T) {
 	}
 }
 
+// Every policy must return the shed sentinel when no board is eligible —
+// inactive, missing the RP, down or degraded — instead of inventing a
+// target.
+func TestRoutersShedWhenNoBoardEligible(t *testing.T) {
+	drained := []func([]BoardView) []BoardView{
+		func(v []BoardView) []BoardView {
+			for i := range v {
+				v[i].Active = false
+			}
+			return v
+		},
+		func(v []BoardView) []BoardView {
+			for i := range v {
+				v[i].HasRP = false
+			}
+			return v
+		},
+		func(v []BoardView) []BoardView {
+			for i := range v {
+				v[i].Down = true
+			}
+			return v
+		},
+		func(v []BoardView) []BoardView {
+			for i := range v {
+				v[i].Degraded = true
+			}
+			return v
+		},
+	}
+	for _, name := range RouterNames() {
+		for ci, drain := range drained {
+			r, err := RouterByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm any router state on a healthy fleet first, so the shed
+			// sentinel is exercised on an already-built ring/cursor.
+			r.Pick(activeViews(3), anyReq)
+			if p := r.Pick(drain(activeViews(3)), anyReq); p != -1 {
+				t.Errorf("%s case %d: pick = %d on a fleet with no eligible board, want -1", name, ci, p)
+			}
+			if p := r.Pick(drain(activeViews(1)), anyReq); p != -1 {
+				t.Errorf("%s case %d: single-board pick = %d, want -1", name, ci, p)
+			}
+			// And the router must still work afterwards.
+			if p := r.Pick(activeViews(3), anyReq); p < 0 || p > 2 {
+				t.Errorf("%s case %d: pick = %d after shed, want an eligible board", name, ci, p)
+			}
+		}
+	}
+}
+
+// The affinity ring must walk past dead boards' virtual nodes — terminating
+// with a valid alternative while any board is up, and with the shed
+// sentinel (not an infinite orbit) when every board is dead.
+func TestAffinityWalksRingPastDeadVNodes(t *testing.T) {
+	r := Affinity()
+	v := activeViews(4)
+	home := r.Pick(v, anyReq)
+	for down := 0; down < 4; down++ {
+		v[down].Down = true // kill boards one by one, home first by remapping
+	}
+	if p := r.Pick(v, anyReq); p != -1 {
+		t.Fatalf("all-dead ring pick = %d, want -1", p)
+	}
+	// One survivor anywhere on the ring: every key must find it.
+	for alive := 0; alive < 4; alive++ {
+		for i := range v {
+			v[i].Down = i != alive
+		}
+		for _, rp := range []string{"RP1", "RP2", "RP3", "RP4"} {
+			req := workload.Request{RP: rp, ASP: "sha3"}
+			if p := r.Pick(v, req); p != alive {
+				t.Errorf("survivor %d: key %s routed to %d", alive, rp, p)
+			}
+		}
+	}
+	// Full recovery: the original key returns home (consistent hashing).
+	for i := range v {
+		v[i].Down = false
+	}
+	if p := r.Pick(v, anyReq); p != home {
+		t.Errorf("recovered ring moved key: %d, want %d", p, home)
+	}
+}
+
 func TestAutoscalerUnitThresholds(t *testing.T) {
 	const w = sim.Millisecond
 	a := newAutoscaler(AutoscalerConfig{
@@ -128,26 +215,49 @@ func TestAutoscalerUnitThresholds(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		a.observeArrival(w/2, i < 3)
 	}
-	if got := a.evaluate(w, 1); got != 2 {
+	if got := a.evaluate(w, 1, 0); got != 2 {
 		t.Errorf("active after shed window = %d, want 2", got)
 	}
 	// Window 1: clean but slow (p99 200 µs > 100 µs) → grow to the Max cap.
 	a.observeArrival(w+w/2, false)
 	a.observeCompletion(w+w/2, 200*sim.Microsecond)
-	if got := a.evaluate(2*w, 2); got != 3 {
+	if got := a.evaluate(2*w, 2, 0); got != 3 {
 		t.Errorf("active after slow window = %d, want 3", got)
 	}
 	// Window 2: comfortable → shrink.
 	a.observeArrival(2*w+w/2, false)
 	a.observeCompletion(2*w+w/2, 10*sim.Microsecond)
-	if got := a.evaluate(3*w, 3); got != 2 {
+	if got := a.evaluate(3*w, 3, 0); got != 2 {
 		t.Errorf("active after idle window = %d, want 2", got)
 	}
 	// Windows 3-4: empty windows are comfortable too; Min clamps.
-	if got := a.evaluate(5*w, 2); got != 1 {
+	if got := a.evaluate(5*w, 2, 0); got != 1 {
 		t.Errorf("active after empty windows = %d, want clamped at 1", got)
 	}
 	if len(a.events) != 4 {
 		t.Errorf("events = %d, want 4: %+v", len(a.events), a.events)
+	}
+}
+
+// A dead board must be replaced at the next window boundary even when the
+// window's own shed/p99 signals are comfortable (the crash starves them).
+func TestAutoscalerReplacesDeadCapacity(t *testing.T) {
+	const w = sim.Millisecond
+	a := newAutoscaler(AutoscalerConfig{
+		Window: w, Min: 1, Max: 3,
+		ShedHi: 0.5, P99HiUS: 1e6, ShedLo: -1, P99LoUS: 0, // never trips on its own
+	})
+	a.observeArrival(w/2, false)
+	if got := a.evaluate(w, 1, 1); got != 2 {
+		t.Fatalf("active with one board down = %d, want 2", got)
+	}
+	if len(a.events) != 1 || a.events[0].Reason != "replacing dead capacity (1 down)" {
+		t.Fatalf("events = %+v, want one dead-capacity replacement", a.events)
+	}
+	// Max caps replacement like any other growth.
+	a.observeArrival(w+w/2, false)
+	a.observeArrival(2*w+w/2, false)
+	if got := a.evaluate(3*w, 3, 2); got != 3 {
+		t.Errorf("active at Max with boards down = %d, want 3", got)
 	}
 }

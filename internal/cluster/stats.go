@@ -31,6 +31,18 @@ type FleetStats struct {
 	ScaleEvents []ScaleEvent
 	// PeakActive and FinalActive record the active-set trajectory.
 	PeakActive, FinalActive int
+
+	// Arrivals counts the logical requests the fleet front-end received
+	// (the trace length — hedged duplicates are not extra arrivals).
+	Arrivals int
+	// Unroutable counts arrivals shed at the fleet door because no board
+	// was eligible (all down/degraded/inactive, or every failover target
+	// refused the connection).
+	Unroutable int
+	// FailedOver counts connection-refused picks that were retried on
+	// another board; Hedged counts duplicate offers issued for
+	// deadline-bearing requests.
+	FailedOver, Hedged int
 }
 
 // GoodputPerSec is the fleet's useful throughput: completions that met
@@ -46,6 +58,18 @@ func (fs *FleetStats) GoodputPerSec() float64 {
 
 // CacheHitRatio is the fleet-wide bitstream-cache hit ratio.
 func (fs *FleetStats) CacheHitRatio() float64 { return fs.Aggregate.Cache.HitRatio() }
+
+// Availability is the fraction of logical arrivals the fleet served: 1
+// minus the arrivals lost at the door (Unroutable), rejected by admission
+// control (Shed) or dropped by a crash mid-service (Lost). A run with no
+// arrivals is vacuously available.
+func (fs *FleetStats) Availability() float64 {
+	if fs.Arrivals == 0 {
+		return 1
+	}
+	failed := fs.Unroutable + fs.Aggregate.Shed + fs.Aggregate.Lost
+	return 1 - float64(failed)/float64(fs.Arrivals)
+}
 
 // RoutingSpread is max/min assigned requests across boards that received
 // any (1 = perfectly balanced). Boards with zero assignments are excluded
@@ -102,6 +126,10 @@ func mergeStats(boards []BoardStats) hll.ServiceStats {
 		agg.Cache.ResidentBytes += b.Cache.ResidentBytes
 		agg.Cache.PeakBytes += b.Cache.PeakBytes
 		agg.StageTime += b.StageTime
+		agg.Lost += b.Lost
+		agg.CRCAlarms += b.CRCAlarms
+		agg.Repairs += b.Repairs
+		agg.RepairTime += b.RepairTime
 		for _, name := range b.TenantNames() {
 			t := b.Tenants[name]
 			at, ok := agg.Tenants[name]

@@ -259,6 +259,14 @@ func init() {
 		Merge:   routeMerge,
 	})
 	Register(Scenario{
+		ID:      "E15",
+		Title:   chaosTitle,
+		Aliases: []string{"chaos"},
+		Shards:  chaosShards,
+		Run:     chaosShard,
+		Merge:   chaosMerge,
+	})
+	Register(Scenario{
 		ID:      "A1",
 		Title:   "CRC read-back overhead on the foreground transfer",
 		Aliases: []string{"crc"},

@@ -21,6 +21,17 @@ type rpState struct {
 	// busyUntil is when the RP's current compute finishes (service mode);
 	// a time at or before "now" means the partition is free.
 	busyUntil sim.Time
+	// inflight is the request currently computing on the partition (service
+	// mode); a board crash loses it and invalidates its completion event.
+	inflight *sched.Item
+	// alarm records a raised CRC read-back alarm: the partition's
+	// configuration memory no longer matches the golden image. The service
+	// repairs (scrub or full reload) before the resident ASP runs again.
+	alarm bool
+	// suspect lists the linear frame indices the read-back monitor localised
+	// the alarm to (SEM-style frame addressing); empty means "somewhere in
+	// the region" and forces a full-region scrub.
+	suspect []int
 }
 
 // engine is the machinery shared by the closed-loop trace replayer
@@ -105,6 +116,10 @@ func (e *engine) loadASP(stats *Stats, st *rpState, asp workload.ASP, bs *bitstr
 	}
 	stats.Reconfigs++
 	stats.ReconfigTime += p.Kernel.Now().Sub(t0)
+	// The load rewrote the whole partition, superseding any pending upset
+	// alarm whether or not the new image verified.
+	st.alarm = false
+	st.suspect = nil
 	if !res.CRCValid {
 		stats.Failures++
 		st.resident = ""

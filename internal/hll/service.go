@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sched"
+	"repro/internal/scrub"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -31,6 +32,13 @@ type ServiceConfig struct {
 	// measurement window opens; a disabled cache ignores it (the no-cache
 	// ablation pays full staging on every reconfiguration by design).
 	PrewarmASPs []string
+	// Repair selects how a raised CRC alarm is cleared before the resident
+	// ASP runs again: "scrub" (default) rewrites only the damaged frames
+	// through the ICAP, "reload" performs a full partial reconfiguration.
+	Repair string
+	// UpsetSeed seeds the configuration-memory upset injector RaiseCRCUpset
+	// draws from (0 keeps a fixed default stream).
+	UpsetSeed uint64
 }
 
 // TenantStats is one traffic source's view of a service run. Every offered
@@ -56,6 +64,15 @@ type ServiceStats struct {
 	// simulated time spent staging images from the backing store.
 	Cache     sched.CacheStats
 	StageTime sim.Duration
+	// Lost counts admitted requests dropped by a board crash (queued or
+	// in flight when the board went down). Every offered request still ends
+	// in exactly one of Completed, Shed, Failed-at-CRC or Lost.
+	Lost int
+	// CRCAlarms counts raised read-back alarms; Repairs counts alarms
+	// cleared by scrub or reload, and RepairTime is the simulated time those
+	// repairs cost.
+	CRCAlarms, Repairs int
+	RepairTime         sim.Duration
 	// Tenants breaks the run down per traffic source.
 	Tenants map[string]*TenantStats
 }
@@ -86,6 +103,16 @@ type Service struct {
 
 	stats ServiceStats
 	done  int
+
+	// crashed marks the board dead: it refuses offers and dispatches
+	// nothing until Recover. epoch invalidates in-flight completion events
+	// scheduled before a crash — work lost with the board must not complete
+	// after it.
+	crashed bool
+	epoch   int
+	// injector plants the configuration-memory upsets RaiseCRCUpset models
+	// (built lazily on first use).
+	injector *scrub.Injector
 
 	// Session state (Begin/Offer/AdvanceTo/Drain — Serve drives the same
 	// primitives): a fleet front-end owns the arrival stream and this board
@@ -270,6 +297,9 @@ func (s *Service) rpCandidates(name string, cands []sched.Candidate) []sched.Can
 // physical ICAP; it advances simulated time synchronously. Reports whether
 // anything was dispatched.
 func (s *Service) dispatchOne(now sim.Time) (bool, error) {
+	if s.crashed {
+		return false, nil // a dead board dispatches nothing
+	}
 	served := false
 	var cands []sched.Candidate
 	// Phase 1: each free partition whose policy-chosen next request is a
@@ -356,6 +386,20 @@ func (s *Service) serveItem(it *sched.Item, st *rpState, now sim.Time) error {
 		}
 	} else {
 		s.stats.Hits++
+		if st.alarm {
+			// The CRC monitor flagged the resident image; repair before the
+			// accelerator runs on corrupted configuration.
+			if err := s.repair(st, asp); err != nil {
+				return err
+			}
+			if st.resident != asp.Name {
+				// A reload repair failed verification: dropped like any
+				// CRC-failed load, the partition left empty.
+				s.tenant(it.Tenant).Failed++
+				s.done++
+				return nil
+			}
+		}
 	}
 
 	gen := s.eng.traffic[st.region.Name]
@@ -363,9 +407,15 @@ func (s *Service) serveItem(it *sched.Item, st *rpState, now sim.Time) error {
 	gen.Start()
 	end := k.Now().Add(asp.ComputeTime)
 	st.busyUntil = end
+	st.inflight = it
+	epoch := s.epoch
 	k.At(end, func() {
+		if epoch != s.epoch {
+			return // the board crashed under this work; Crash accounted it
+		}
 		gen.Stop()
 		st.busyUntil = 0
+		st.inflight = nil
 		s.stats.ComputeTime += asp.ComputeTime
 		s.stats.Completed++
 		s.done++
@@ -381,6 +431,68 @@ func (s *Service) serveItem(it *sched.Item, st *rpState, now sim.Time) error {
 			s.onComplete(end.Sub(s.start), end.Sub(it.At))
 		}
 	})
+	return nil
+}
+
+// repair clears a raised CRC alarm on the partition: "reload" pays a full
+// partial reconfiguration of the resident image, "scrub" (the default)
+// read-back-scans the region and rewrites only the damaged frames through
+// the shared ICAP. Repair time is accounted separately from reconfiguration
+// time so the ablation stays visible in the service statistics.
+func (s *Service) repair(st *rpState, asp workload.ASP) error {
+	p := s.eng.ctrl.Platform()
+	k := p.Kernel
+	t0 := k.Now()
+	if s.cfg.Repair == "reload" {
+		bs, err := s.eng.acquire(asp, st)
+		if err != nil {
+			return err
+		}
+		if _, err := s.eng.loadASP(&s.stats.Stats, st, asp, bs); err != nil {
+			return err
+		}
+	} else {
+		if bu := p.ICAP.BusyUntil(); bu > k.Now() {
+			k.RunUntil(bu)
+		}
+		golden := asp.Frames(p.Device, st.region)
+		var (
+			rep  scrub.Report
+			rerr error
+			fin  bool
+			err  error
+		)
+		sc := scrub.New(k, p.ICAP)
+		deliver := func(r scrub.Report, err error) {
+			rep, rerr, fin = r, err, true
+		}
+		// The monitor's frame addressing makes the repair targeted: only the
+		// suspect frames are read, rewritten, and verified. Without it (a
+		// hand-raised alarm) the scrubber sweeps the whole region.
+		if len(st.suspect) > 0 {
+			err = sc.ScrubFrames(st.region, golden, st.suspect, deliver)
+		} else {
+			err = sc.Scrub(st.region, golden, deliver)
+		}
+		if err != nil {
+			return err
+		}
+		for !fin {
+			if !k.Step() {
+				return fmt.Errorf("hll: service: scrub of %s never completed", st.region.Name)
+			}
+		}
+		if rerr != nil {
+			return rerr
+		}
+		if !rep.Clean {
+			return fmt.Errorf("hll: service: scrub left %s dirty", st.region.Name)
+		}
+		st.alarm = false
+		st.suspect = nil
+	}
+	s.stats.Repairs++
+	s.stats.RepairTime += k.Now().Sub(t0)
 	return nil
 }
 
@@ -414,6 +526,86 @@ func (s *Service) Queued() int {
 	return n
 }
 
+// Done reports the requests that reached a terminal state (completed, shed,
+// CRC-failed or lost) — the progress counter a fleet health check watches.
+func (s *Service) Done() int { return s.done }
+
+// Crashed reports whether the board is down (refusing offers).
+func (s *Service) Crashed() bool { return s.crashed }
+
+// Crash takes the board down mid-session: every queued and in-flight
+// request is lost (counted in Lost and the owning tenant's Failed), pending
+// completion events are invalidated, the partitions forget their resident
+// ASPs and the DRAM bitstream cache is wiped — warm state dies with the
+// board. Until Recover, the service refuses offers and dispatches nothing;
+// its kernel still advances (time passes at a dead board too).
+func (s *Service) Crash() {
+	if !s.started || s.finished || s.crashed {
+		return
+	}
+	s.crashed = true
+	s.epoch++ // orphan every scheduled completion
+	for _, name := range s.eng.order {
+		st := s.eng.rps[name]
+		if st.inflight != nil {
+			s.eng.traffic[name].Stop()
+			s.tenant(st.inflight.Tenant).Failed++
+			s.stats.Lost++
+			s.done++
+			st.inflight = nil
+		}
+		st.busyUntil = 0
+		st.resident = ""
+		st.alarm = false
+		st.suspect = nil
+		q := s.queues[name]
+		for q.Len() > 0 {
+			it := q.Remove(0)
+			s.tenant(it.Tenant).Failed++
+			s.stats.Lost++
+			s.done++
+		}
+	}
+	s.eng.cache.Clear()
+}
+
+// Recover brings a crashed board back: empty partitions, cold cache — the
+// reboot state. The session stays open; the board resumes serving whatever
+// the front-end routes to it next.
+func (s *Service) Recover() { s.crashed = false }
+
+// RaiseCRCUpset models configuration-memory corruption on a live board: it
+// flips bits in n distinct frames of the first partition with a resident
+// ASP and raises that partition's CRC alarm (the read-back monitor's error
+// interrupt). The service repairs — scrub or reload per the configuration —
+// before the resident ASP is dispatched again. Returns false when no
+// partition holds an image (nothing configured, nothing to corrupt).
+func (s *Service) RaiseCRCUpset(n int) (bool, error) {
+	if s.crashed {
+		return false, nil
+	}
+	for _, name := range s.eng.order {
+		st := s.eng.rps[name]
+		if st.resident == "" {
+			continue
+		}
+		if s.injector == nil {
+			s.injector = scrub.NewInjector(s.eng.ctrl.Platform().Memory, s.cfg.UpsetSeed)
+		}
+		hit, err := s.injector.UpsetRegion(st.region, n)
+		if err != nil {
+			return false, fmt.Errorf("hll: service: %w", err)
+		}
+		// The read-back monitor localises each error to a frame address (the
+		// SEM flow); the repair path uses it for a targeted scrub.
+		st.suspect = append(st.suspect, hit...)
+		st.alarm = true
+		s.stats.CRCAlarms++
+		return true, nil
+	}
+	return false, nil
+}
+
 // Begin opens an externally driven session: prewarm the cache, snapshot the
 // staging/cache counters and anchor the relative timeline at the board's
 // current instant. A service serves exactly one stream — Begin rejects a
@@ -441,6 +633,12 @@ func (s *Service) Begin() error {
 func (s *Service) Offer(req workload.Request) (bool, error) {
 	if !s.started || s.finished {
 		return false, fmt.Errorf("hll: service: Offer outside an open session")
+	}
+	if s.crashed {
+		// Connection refused: the request never reaches admission control,
+		// so it is not an Offered/Shed outcome — the fleet front-end
+		// classifies the refusal (and fails over) via Crashed.
+		return false, nil
 	}
 	if _, ok := s.queues[req.RP]; !ok {
 		return false, fmt.Errorf("hll: service: unknown RP %q routed to this board", req.RP)

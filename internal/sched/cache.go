@@ -108,6 +108,18 @@ func (c *Cache) Put(key string, bs *bitstream.Bitstream) {
 	}
 }
 
+// Clear drops every resident image — what a board crash does to its DRAM
+// cache (the warm working set dies with the board). Dropped entries count
+// as evictions so the loss is visible in the run's accounting; hit/miss
+// history survives, as the counters live in the service, not the DRAM.
+func (c *Cache) Clear() {
+	c.stats.Evictions += len(c.order)
+	c.order = c.order[:0]
+	c.entries = make(map[string]int)
+	c.resident = 0
+	c.stats.ResidentBytes = 0
+}
+
 // Stats returns the accumulated statistics.
 func (c *Cache) Stats() CacheStats {
 	s := c.stats

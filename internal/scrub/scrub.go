@@ -193,6 +193,90 @@ func (s *Scrubber) Scrub(r fabric.Region, golden [][]uint32, done func(Report, e
 	return nil
 }
 
+// ScrubFrames repairs only the listed frames (linear indices, the way the
+// read-back CRC monitor localises an error to a frame address): each suspect
+// is read back, compared against the golden image, rewritten on mismatch,
+// and re-verified. This is the frame-addressed correction an SEU controller
+// performs — a few frame-times through the ICAP instead of Scrub's
+// full-region sweep — and it is what makes scrubbing decisively cheaper
+// than a full partial reconfiguration.
+func (s *Scrubber) ScrubFrames(r fabric.Region, golden [][]uint32, suspects []int, done func(Report, error)) error {
+	dev := s.mem.Device()
+	n := dev.RegionFrames(r)
+	if len(golden) != n {
+		return fmt.Errorf("scrub: golden has %d frames, region %q needs %d", len(golden), r.Name, n)
+	}
+	if len(suspects) == 0 {
+		return fmt.Errorf("scrub: no suspect frames for region %q", r.Name)
+	}
+	idx, err := s.mem.RegionFrameIndices(r)
+	if err != nil {
+		return err
+	}
+	base := idx[0]
+	for _, lin := range suspects {
+		if pos := lin - base; pos < 0 || pos >= n {
+			return fmt.Errorf("scrub: suspect frame %d outside region %q", lin, r.Name)
+		}
+	}
+	start := s.kernel.Now()
+
+	// Read back the suspect frames (one frame-time per frame through the
+	// shared port, like any FDRO read).
+	readEnd := s.port.Reserve(len(suspects) * fabric.FrameWords)
+	s.kernel.At(readEnd, func() {
+		var repairList []int
+		for _, lin := range suspects {
+			pos := lin - base
+			frame := s.mem.FrameSlice(lin)
+			for w := range frame {
+				if frame[w] != golden[pos][w] {
+					repairList = append(repairList, lin)
+					break
+				}
+			}
+		}
+		writeEnd := s.port.Reserve(len(repairList) * fabric.FrameWords)
+		s.kernel.At(writeEnd, func() {
+			for _, lin := range repairList {
+				pos := lin - base
+				addr, aerr := dev.Addr(lin)
+				if aerr != nil {
+					done(Report{}, aerr)
+					return
+				}
+				if werr := s.mem.WriteFrame(addr, golden[pos]); werr != nil {
+					done(Report{}, werr)
+					return
+				}
+			}
+			// Verification: re-read the suspects only.
+			verifyEnd := s.port.Reserve(len(suspects) * fabric.FrameWords)
+			s.kernel.At(verifyEnd, func() {
+				clean := true
+			verify:
+				for _, lin := range suspects {
+					pos := lin - base
+					frame := s.mem.FrameSlice(lin)
+					for w := range frame {
+						if frame[w] != golden[pos][w] {
+							clean = false
+							break verify
+						}
+					}
+				}
+				done(Report{
+					FramesScanned:  len(suspects),
+					FramesRepaired: len(repairList),
+					Clean:          clean,
+					Duration:       s.kernel.Now().Sub(start),
+				}, nil)
+			})
+		})
+	})
+	return nil
+}
+
 // FullReloadFrames returns how many frame-times a full partial
 // reconfiguration of the region costs, for comparison with a scrub pass.
 func FullReloadFrames(dev *fabric.Device, r fabric.Region) int {

@@ -161,6 +161,56 @@ func TestScrubFarCheaperThanReload(t *testing.T) {
 	}
 }
 
+func TestScrubFramesTargetedRepair(t *testing.T) {
+	r := newRig(t)
+	inj := NewInjector(r.mem, 9)
+	hit, err := inj.UpsetRegion(r.rp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(r.kernel, r.port)
+	var rep *Report
+	if err := s.ScrubFrames(r.rp, r.golden, hit, func(got Report, serr error) {
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		rep = &got
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.kernel.Run()
+	if rep == nil {
+		t.Fatal("targeted scrub never completed")
+	}
+	if rep.FramesScanned != 4 || rep.FramesRepaired != 4 || !rep.Clean {
+		t.Errorf("report = %+v, want 4 scanned, 4 repaired, clean", *rep)
+	}
+	if eq, _ := r.mem.RegionEqual(r.rp, r.golden); !eq {
+		t.Error("memory differs from golden after targeted scrub")
+	}
+	// Frame-addressed repair touches a handful of frames: it must cost a
+	// small fraction of a full-region sweep.
+	full := r.scrub(t) // region already clean: pure sweep cost
+	if 10*rep.Duration >= full.Duration {
+		t.Errorf("targeted scrub %v not ≪ full sweep %v", rep.Duration, full.Duration)
+	}
+}
+
+func TestScrubFramesValidatesSuspects(t *testing.T) {
+	r := newRig(t)
+	s := New(r.kernel, r.port)
+	cb := func(Report, error) {}
+	if err := s.ScrubFrames(r.rp, r.golden, nil, cb); err == nil {
+		t.Error("empty suspect list must fail")
+	}
+	if err := s.ScrubFrames(r.rp, r.golden, []int{1 << 30}, cb); err == nil {
+		t.Error("out-of-region suspect must fail")
+	}
+	if err := s.ScrubFrames(r.rp, r.golden[:10], []int{0}, cb); err == nil {
+		t.Error("short golden must fail")
+	}
+}
+
 func TestScrubValidatesGoldenLength(t *testing.T) {
 	r := newRig(t)
 	s := New(r.kernel, r.port)

@@ -111,9 +111,11 @@ func (s *Sample) Percentile(p float64) float64 { return s.Quantile(p / 100) }
 // per-board latency samples into one distribution. Quantiles of the merged
 // sample are order-independent (the sample sorts before ranking), so a
 // merge in board-index order is byte-stable whatever schedule produced the
-// parts.
+// parts. A nil or empty o is a no-op — a chaos run can hand the merge
+// boards that completed zero requests — and merging a sample into itself
+// is rejected rather than doubling every observation.
 func (s *Sample) Merge(o *Sample) {
-	if o == nil || len(o.values) == 0 {
+	if o == nil || o == s || len(o.values) == 0 {
 		return
 	}
 	s.values = append(s.values, o.values...)

@@ -135,6 +135,31 @@ func TestSampleMerge(t *testing.T) {
 	if a.N() != 100 {
 		t.Errorf("no-op merges changed N to %d", a.N())
 	}
+	a.Merge(&a) // self-merge must not double the observations
+	if a.N() != 100 {
+		t.Errorf("self-merge changed N to %d", a.N())
+	}
+}
+
+// A chaos run can produce boards that completed zero requests; the fleet
+// merge then folds and ranks empty samples. Both directions must be safe
+// and quantiles of a still-empty sample must stay zero.
+func TestSampleEmptyMergeAndQuantile(t *testing.T) {
+	var dst, src Sample
+	dst.Merge(&src) // empty into empty
+	if dst.N() != 0 || dst.Quantile(0.99) != 0 || dst.Quantile(0) != 0 || dst.Quantile(1) != 0 {
+		t.Errorf("empty merged sample not zero-valued: n=%d p99=%v", dst.N(), dst.Quantile(0.99))
+	}
+	src.Add(7)
+	dst.Merge(&src) // non-empty into (previously ranked) empty
+	if dst.N() != 1 || dst.Quantile(0.99) != 7 {
+		t.Errorf("merge after empty ranking broken: n=%d p99=%v", dst.N(), dst.Quantile(0.99))
+	}
+	var again Sample
+	src.Merge(&again) // empty into non-empty leaves it intact
+	if src.N() != 1 || src.Quantile(0.5) != 7 {
+		t.Errorf("empty merge perturbed sample: n=%d p50=%v", src.N(), src.Quantile(0.5))
+	}
 }
 
 func TestSampleMeanBoundsProperty(t *testing.T) {

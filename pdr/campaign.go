@@ -67,15 +67,18 @@ func (v BoardVariant) apply(cfg *experiments.Config) error {
 type CampaignOption func(*campaignConfig)
 
 type campaignConfig struct {
-	seed       uint64
-	workers    int
-	ids        []string
-	variant    BoardVariant
-	freqs      []float64
-	temps      []float64
-	rates      []float64
-	fleetSizes []int
-	router     string
+	seed            uint64
+	workers         int
+	ids             []string
+	variant         BoardVariant
+	freqs           []float64
+	temps           []float64
+	rates           []float64
+	fleetSizes      []int
+	router          string
+	chaosCrashes    int
+	chaosExcursions int
+	chaosGlitches   int
 }
 
 // WithCampaignSeed fixes the deterministic seed (default 42, the suite's
@@ -133,6 +136,19 @@ func WithFleetGrid(sizes ...int) CampaignOption {
 // scenario (E14) sweeps every policy regardless.
 func WithFleetRouter(name string) CampaignOption {
 	return func(c *campaignConfig) { c.router = name }
+}
+
+// WithChaosStorm reshapes the fault storm the chaos scenario (E15) replays:
+// the number of board outages, thermal excursions and CRC glitch bursts.
+// For each count, 0 keeps the standard storm and a negative value removes
+// that fault class entirely. The storm stays seeded and deterministic —
+// every routing policy still faces the identical event list.
+func WithChaosStorm(crashes, excursions, glitches int) CampaignOption {
+	return func(c *campaignConfig) {
+		c.chaosCrashes = crashes
+		c.chaosExcursions = excursions
+		c.chaosGlitches = glitches
+	}
 }
 
 // Campaign runs a set of registered scenarios, sharded across a pool of
@@ -201,12 +217,15 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 		return nil, err
 	}
 	ecfg := experiments.Config{
-		Seed:       c.cfg.seed,
-		Freqs:      c.cfg.freqs,
-		Temps:      c.cfg.temps,
-		Rates:      c.cfg.rates,
-		FleetSizes: c.cfg.fleetSizes,
-		Router:     c.cfg.router,
+		Seed:            c.cfg.seed,
+		Freqs:           c.cfg.freqs,
+		Temps:           c.cfg.temps,
+		Rates:           c.cfg.rates,
+		FleetSizes:      c.cfg.fleetSizes,
+		Router:          c.cfg.router,
+		ChaosCrashes:    c.cfg.chaosCrashes,
+		ChaosExcursions: c.cfg.chaosExcursions,
+		ChaosGlitches:   c.cfg.chaosGlitches,
 	}
 	if err := c.cfg.variant.apply(&ecfg); err != nil {
 		return nil, err

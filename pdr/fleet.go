@@ -3,6 +3,7 @@ package pdr
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/sched"
 )
@@ -18,6 +19,16 @@ type (
 	ScaleEvent = cluster.ScaleEvent
 	// AutoscalePolicy bounds and thresholds for the reactive autoscaler.
 	AutoscalePolicy = cluster.AutoscalerConfig
+	// ChaosPolicy attaches a fault schedule and the fleet's self-healing
+	// machinery (health probes, failover, outlier ejection, hedging) to a
+	// run. Nil keeps the historical fault-free semantics bit for bit.
+	ChaosPolicy = cluster.ChaosConfig
+	// FaultStorm shapes a seeded fault storm; its Schedule method draws the
+	// deterministic event list a ChaosPolicy replays.
+	FaultStorm = chaos.Config
+	// FaultEvent is one scheduled fault (crash, recovery, thermal excursion,
+	// CRC glitch).
+	FaultEvent = chaos.Event
 )
 
 // Routers lists the fleet routing policies Serve accepts, in presentation
@@ -57,6 +68,14 @@ type FleetOptions struct {
 	// reacts to windowed shed-rate and p99 signals. Nil keeps the whole
 	// fleet active.
 	Autoscale *AutoscalePolicy
+	// Chaos, when non-nil, replays a fault schedule against each run and
+	// turns on the self-healing machinery. Build the schedule with a
+	// FaultStorm (seeded, deterministic) or hand-write the events.
+	Chaos *ChaosPolicy
+	// Repair selects how a board clears a CRC read-back alarm: "scrub"
+	// (default, frame-addressed rewrite) or "reload" (full partial
+	// reconfiguration).
+	Repair string
 }
 
 // Fleet is the multi-board counterpart of System: N simulated boards
@@ -94,6 +113,11 @@ func NewFleet(o FleetOptions) (*Fleet, error) {
 	}
 	if o.Autoscale != nil {
 		if err := o.Autoscale.Validate(len(specs)); err != nil {
+			return nil, fmt.Errorf("pdr: %w", err)
+		}
+	}
+	if o.Chaos != nil {
+		if err := o.Chaos.Validate(len(specs)); err != nil {
 			return nil, fmt.Errorf("pdr: %w", err)
 		}
 	}
@@ -142,11 +166,13 @@ func (f *Fleet) build() (*cluster.Fleet, error) {
 		FreqMHz:    freq,
 		Router:     router,
 		Autoscaler: o.Autoscale,
+		Chaos:      o.Chaos,
 		Service: cluster.ServiceTemplate{
 			Policy:           o.Policy,
 			CacheBudgetBytes: budget,
 			QueueCap:         o.QueueCap,
 			Prewarm:          o.Prewarm,
+			Repair:           o.Repair,
 		},
 	})
 	if err != nil {
