@@ -371,6 +371,34 @@ func BenchmarkChaosStorm(b *testing.B) {
 	}
 }
 
+// BenchmarkDiurnal regenerates the diurnal scenario (E16): both scaler
+// policies serving the same simulated day — a diurnal base rate with a
+// flash crowd that ramps inside one scaler window — on cold six-board
+// fleets. Metrics: the flash-window shed fraction per policy (the
+// headline: the forecast retargets several boards after one observed
+// window while the reactive policy climbs one per window) and the
+// goodput each sustains.
+func BenchmarkDiurnal(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = benchScenario(b, "E16")
+	}
+	series := map[string][]sim.Point{}
+	for _, s := range rep.Series {
+		series[s.Name] = s.Points
+	}
+	re, pr := series["e16_reactive"], series["e16_predictive"]
+	if len(re) == 4 && len(pr) == 4 {
+		b.ReportMetric(100*re[0].Y, "reactive-flash-shed-%")
+		b.ReportMetric(100*pr[0].Y, "predictive-flash-shed-%")
+		b.ReportMetric(re[1].Y, "reactive-goodput-req/s")
+		b.ReportMetric(pr[1].Y, "predictive-goodput-req/s")
+		if pr[0].Y > 0 {
+			b.ReportMetric(re[0].Y/pr[0].Y, "flash-shed-ratio")
+		}
+	}
+}
+
 // --- substrate micro-benchmarks ---
 
 func benchFrames(n int) [][]uint32 {

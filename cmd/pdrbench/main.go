@@ -16,6 +16,9 @@
 //	pdrbench -chaos-crashes 3     # reshape the E15 fault storm
 //	                              # (-chaos-excursions, -chaos-glitches too;
 //	                              # 0 = standard storm, negative = none)
+//	pdrbench -run E16 -trace-out day.json   # persist the E16 arrival stream
+//	pdrbench -run E16 -trace-in day.json    # replay a recorded stream
+//	pdrbench -run E16 -scaler predictive    # one autoscaler policy only
 //	pdrbench -json                # machine-readable reports
 //	pdrbench -md > EXPERIMENTS.md # regenerate the committed artefact file
 //	pdrbench -csv out/            # also write figure series as CSV files
@@ -53,6 +56,9 @@ type options struct {
 	chaosCrashes    int
 	chaosExcursions int
 	chaosGlitches   int
+	traceIn         string
+	traceOut        string
+	scaler          string
 }
 
 func main() {
@@ -70,6 +76,9 @@ func main() {
 	flag.IntVar(&opts.chaosCrashes, "chaos-crashes", 0, "board outages in the E15 storm (0 = standard, negative = none)")
 	flag.IntVar(&opts.chaosExcursions, "chaos-excursions", 0, "thermal excursions in the E15 storm (0 = standard, negative = none)")
 	flag.IntVar(&opts.chaosGlitches, "chaos-glitches", 0, "CRC glitch bursts in the E15 storm (0 = standard, negative = none)")
+	flag.StringVar(&opts.traceIn, "trace-in", "", "replay the E16 arrival stream from a versioned trace file")
+	flag.StringVar(&opts.traceOut, "trace-out", "", "write the E16 arrival stream to a versioned trace file")
+	flag.StringVar(&opts.scaler, "scaler", "", "restrict E16 to one autoscaler policy (reactive|predictive)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -127,6 +136,29 @@ func realMain(ctx context.Context, w io.Writer, opts options) error {
 	if opts.chaosCrashes != 0 || opts.chaosExcursions != 0 || opts.chaosGlitches != 0 {
 		copts = append(copts, pdr.WithChaosStorm(opts.chaosCrashes, opts.chaosExcursions, opts.chaosGlitches))
 	}
+	if opts.traceIn != "" {
+		copts = append(copts, pdr.WithTraceFile(opts.traceIn))
+	}
+	if opts.scaler != "" {
+		valid := false
+		for _, name := range pdr.ScalerPolicies() {
+			if name == opts.scaler {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			return fmt.Errorf("unknown scaler %q (want %s)", opts.scaler, strings.Join(pdr.ScalerPolicies(), "|"))
+		}
+		copts = append(copts, pdr.WithScalerPolicy(pdr.ScalerPolicy(opts.scaler)))
+	}
+	if opts.traceOut != "" {
+		if err := writeTraceOut(opts); err != nil {
+			return err
+		}
+		// The notice goes to stderr so -json/-md stdout stays parseable.
+		fmt.Fprintf(os.Stderr, "wrote %s\n", opts.traceOut)
+	}
 	if opts.run != "" && opts.run != "all" {
 		var ids []string
 		for _, id := range strings.Split(opts.run, ",") {
@@ -176,6 +208,31 @@ func realMain(ctx context.Context, w io.Writer, opts options) error {
 		}
 	}
 	return nil
+}
+
+// writeTraceOut persists the E16 arrival stream as a versioned trace file:
+// the stream a -trace-in flag names (re-exported after the import round
+// trip), or the one the campaign seed and platform generate.
+func writeTraceOut(opts options) error {
+	var tr pdr.Trace
+	var err error
+	if opts.traceIn != "" {
+		data, rerr := os.ReadFile(opts.traceIn)
+		if rerr != nil {
+			return rerr
+		}
+		tr, err = pdr.ImportTrace(data)
+	} else {
+		tr, err = experiments.DiurnalTrace(experiments.Config{Seed: opts.seed, Platform: opts.platform})
+	}
+	if err != nil {
+		return err
+	}
+	out, err := pdr.ExportTrace(tr)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(opts.traceOut, out, 0o644)
 }
 
 // scenarioInfo and platformInfo are the machine-readable registry rows

@@ -2,15 +2,46 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/sim"
 )
 
-// AutoscalerConfig parameterises the fleet's reactive scaler. The scaler
-// watches fixed windows of the arrival timeline; at each window boundary it
-// compares the window's shed fraction and p99 sojourn against thresholds
-// and grows or shrinks the active board set by one, within [Min, Max]. A
-// nil config keeps every board active for the whole run.
+// ScalerPolicy names an autoscaler decision rule.
+type ScalerPolicy string
+
+const (
+	// ScalerReactive (the "" default) reacts to the decided window's own
+	// signals: grow one board on shed/p99 pressure, shrink one when idle.
+	ScalerReactive ScalerPolicy = "reactive"
+	// ScalerPredictive forecasts the next window's arrival rate from the
+	// observed window history (Holt-style double exponential smoothing —
+	// deterministic, no wall clock) and moves straight to the board count
+	// that rate needs, pre-provisioning ahead of a building spike instead
+	// of reacting one window late, one board at a time.
+	ScalerPredictive ScalerPolicy = "predictive"
+)
+
+// ScalerPolicies lists the recognised policy names in presentation order.
+func ScalerPolicies() []string {
+	return []string{string(ScalerReactive), string(ScalerPredictive)}
+}
+
+// Holt smoothing constants for the predictive forecast: level tracks the
+// windowed rate, trend its per-window change. Fixed constants keep the
+// forecast a pure function of the observed window sequence.
+const (
+	holtAlpha = 0.5
+	holtBeta  = 0.3
+)
+
+// AutoscalerConfig parameterises the fleet's scaler. The scaler watches
+// fixed windows of the arrival timeline; at each window boundary the
+// reactive policy compares the window's shed fraction and p99 sojourn
+// against thresholds and steps the active board set by one, while the
+// predictive policy retargets to ceil(forecast / BoardRatePerSec) — both
+// within [Min, Max]. A nil config keeps every board active for the whole
+// run.
 type AutoscalerConfig struct {
 	// Window is the evaluation period on the arrival timeline.
 	Window sim.Duration
@@ -24,9 +55,16 @@ type AutoscalerConfig struct {
 	// windowed p99 sojourn is below P99LoUS microseconds.
 	ShedLo  float64
 	P99LoUS float64
+	// Policy selects the decision rule ("" = reactive; see ScalerPolicies).
+	Policy ScalerPolicy
+	// BoardRatePerSec is the per-board serviceable rate the predictive
+	// policy plans against (required > 0 for ScalerPredictive; ignored by
+	// the reactive policy).
+	BoardRatePerSec float64
 }
 
-// Validate checks the window and bounds against a fleet size.
+// Validate checks the window, bounds, threshold ordering and policy
+// against a fleet size.
 func (c *AutoscalerConfig) Validate(boards int) error {
 	switch {
 	case c.Window <= 0:
@@ -35,6 +73,19 @@ func (c *AutoscalerConfig) Validate(boards int) error {
 		return fmt.Errorf("cluster: autoscaler bounds [%d, %d] invalid", c.Min, c.Max)
 	case c.Max > boards:
 		return fmt.Errorf("cluster: autoscaler max %d exceeds fleet size %d", c.Max, boards)
+	case c.ShedLo > c.ShedHi:
+		return fmt.Errorf("cluster: autoscaler shed thresholds inverted (ShedLo %v > ShedHi %v would grow and shrink on the same window)", c.ShedLo, c.ShedHi)
+	case c.P99LoUS > c.P99HiUS:
+		return fmt.Errorf("cluster: autoscaler p99 thresholds inverted (P99LoUS %v > P99HiUS %v would grow and shrink on the same window)", c.P99LoUS, c.P99HiUS)
+	}
+	switch c.Policy {
+	case "", ScalerReactive:
+	case ScalerPredictive:
+		if c.BoardRatePerSec <= 0 {
+			return fmt.Errorf("cluster: predictive autoscaler needs BoardRatePerSec > 0 (the per-board rate the forecast plans against)")
+		}
+	default:
+		return fmt.Errorf("cluster: unknown autoscaler policy %q (want reactive|predictive)", c.Policy)
 	}
 	return nil
 }
@@ -47,8 +98,30 @@ type ScaleEvent struct {
 	// From and To are the active board counts before and after.
 	From int `json:"from"`
 	To   int `json:"to"`
-	// Reason names the threshold that tripped.
+	// Reason names the threshold or forecast that tripped.
 	Reason string `json:"reason"`
+	// ObservedPerSec is the decided window's measured arrival rate;
+	// ForecastPerSec is the predictive policy's forecast for the next
+	// window (zero on reactive decisions) — recorded so a trajectory can
+	// be audited forecast-vs-observed after the run.
+	ObservedPerSec float64 `json:"observed_per_sec,omitempty"`
+	ForecastPerSec float64 `json:"forecast_per_sec,omitempty"`
+}
+
+// WindowStat is one decided window of the scaler's trajectory — the
+// boards-over-time and shed-over-time record the diurnal scenario charts.
+type WindowStat struct {
+	// AtUS is the window's end boundary in arrival-timeline microseconds.
+	AtUS float64 `json:"at_us"`
+	// Offered and Shed count the window's arrivals and admission rejections.
+	Offered int `json:"offered"`
+	Shed    int `json:"shed"`
+	// ObservedPerSec is Offered over the window length; ForecastPerSec is
+	// the predictive forecast for the *next* window (zero under reactive).
+	ObservedPerSec float64 `json:"observed_per_sec"`
+	ForecastPerSec float64 `json:"forecast_per_sec,omitempty"`
+	// Active is the active board count after the window's decision.
+	Active int `json:"active"`
 }
 
 // window accumulates one evaluation period's signals.
@@ -63,6 +136,11 @@ type autoscaler struct {
 	wins   []*window
 	evaled int // windows already decided
 	events []ScaleEvent
+	log    []WindowStat
+
+	// Holt state for the predictive forecast.
+	level, trend float64
+	hist         int // decided windows folded into the state
 }
 
 func newAutoscaler(cfg AutoscalerConfig) *autoscaler {
@@ -90,13 +168,32 @@ func (a *autoscaler) observeCompletion(rel, sojourn sim.Duration) {
 	a.win(rel).sojournUS.Add(sojourn.Microseconds())
 }
 
+// forecast folds one decided window's observed rate into the Holt state
+// and returns the next window's predicted rate (level + trend, floored at
+// zero). The first window seeds the level with no trend.
+func (a *autoscaler) forecast(observed float64) float64 {
+	if a.hist == 0 {
+		a.level, a.trend = observed, 0
+	} else {
+		prev := a.level
+		a.level = holtAlpha*observed + (1-holtAlpha)*(a.level+a.trend)
+		a.trend = holtBeta*(a.level-prev) + (1-holtBeta)*a.trend
+	}
+	a.hist++
+	if f := a.level + a.trend; f > 0 {
+		return f
+	}
+	return 0
+}
+
 // evaluate decides every window that has fully elapsed by fleet time now
-// and returns the new active count. Decisions are one step per window, so
-// the fleet reacts at the window cadence rather than thrashing per request.
-// down is the number of boards the health layer currently believes dead
-// (0 without a chaos layer): dead capacity is replaced ahead of any
-// shed/p99 signal — a crashed board starves the window's metrics, so
-// waiting for them to trip would react a window late.
+// and returns the new active count; each window is decided exactly once,
+// even when now lands several windows (or an empty stretch) ahead. Dead
+// capacity is replaced ahead of any policy signal — a crashed board
+// starves the window's metrics, so waiting for them to trip would react a
+// window late. The reactive policy then steps by one on the window's own
+// shed/p99 signals; the predictive policy retargets to what the forecast
+// rate needs, which may pre-provision several boards at one boundary.
 func (a *autoscaler) evaluate(now sim.Duration, active, down int) int {
 	for sim.Duration(a.evaled+1)*a.cfg.Window <= now {
 		w := a.evaled
@@ -113,32 +210,62 @@ func (a *autoscaler) evaluate(now sim.Duration, active, down int) int {
 		}
 		p99 := win.sojournUS.Quantile(0.99)
 		boundary := (sim.Duration(w+1) * a.cfg.Window).Microseconds()
+		observed := float64(win.offered) / a.cfg.Window.Seconds()
+		predictive := a.cfg.Policy == ScalerPredictive
+		fc := 0.0
+		if predictive {
+			fc = a.forecast(observed)
+		}
 		switch {
 		case active < a.cfg.Max && down > 0:
 			a.events = append(a.events, ScaleEvent{
 				AtUS: boundary, From: active, To: active + 1,
-				Reason: fmt.Sprintf("replacing dead capacity (%d down)", down),
+				Reason:         fmt.Sprintf("replacing dead capacity (%d down)", down),
+				ObservedPerSec: observed, ForecastPerSec: fc,
 			})
 			active++
+		case predictive:
+			target := int(math.Ceil(fc / a.cfg.BoardRatePerSec))
+			if target < a.cfg.Min {
+				target = a.cfg.Min
+			}
+			if target > a.cfg.Max {
+				target = a.cfg.Max
+			}
+			if target != active {
+				a.events = append(a.events, ScaleEvent{
+					AtUS: boundary, From: active, To: target,
+					Reason:         fmt.Sprintf("forecast %.0f req/s needs %d board(s)", fc, target),
+					ObservedPerSec: observed, ForecastPerSec: fc,
+				})
+				active = target
+			}
 		case active < a.cfg.Max && shedFrac > a.cfg.ShedHi:
 			a.events = append(a.events, ScaleEvent{
 				AtUS: boundary, From: active, To: active + 1,
-				Reason: fmt.Sprintf("shed %.0f%% > %.0f%%", 100*shedFrac, 100*a.cfg.ShedHi),
+				Reason:         fmt.Sprintf("shed %.0f%% > %.0f%%", 100*shedFrac, 100*a.cfg.ShedHi),
+				ObservedPerSec: observed,
 			})
 			active++
 		case active < a.cfg.Max && p99 > a.cfg.P99HiUS:
 			a.events = append(a.events, ScaleEvent{
 				AtUS: boundary, From: active, To: active + 1,
-				Reason: fmt.Sprintf("p99 %.1fms > %.1fms", p99/1000, a.cfg.P99HiUS/1000),
+				Reason:         fmt.Sprintf("p99 %.1fms > %.1fms", p99/1000, a.cfg.P99HiUS/1000),
+				ObservedPerSec: observed,
 			})
 			active++
 		case active > a.cfg.Min && shedFrac <= a.cfg.ShedLo && p99 < a.cfg.P99LoUS:
 			a.events = append(a.events, ScaleEvent{
 				AtUS: boundary, From: active, To: active - 1,
-				Reason: fmt.Sprintf("idle: shed %.0f%%, p99 %.1fms", 100*shedFrac, p99/1000),
+				Reason:         fmt.Sprintf("idle: shed %.0f%%, p99 %.1fms", 100*shedFrac, p99/1000),
+				ObservedPerSec: observed,
 			})
 			active--
 		}
+		a.log = append(a.log, WindowStat{
+			AtUS: float64(boundary), Offered: win.offered, Shed: win.shed,
+			ObservedPerSec: observed, ForecastPerSec: fc, Active: active,
+		})
 	}
 	return active
 }

@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func validScaler() AutoscalerConfig {
+	return AutoscalerConfig{
+		Window: 25 * sim.Millisecond,
+		Min:    1, Max: 4,
+		ShedHi: 0.01, P99HiUS: 20000,
+		ShedLo: 0, P99LoUS: 2000,
+	}
+}
+
+// TestAutoscalerValidateThresholdOrdering pins the satellite fix: inverted
+// shed or p99 thresholds (a window that would grow and shrink at once)
+// are rejected instead of silently thrashing.
+func TestAutoscalerValidateThresholdOrdering(t *testing.T) {
+	cfg := validScaler()
+	if err := cfg.Validate(4); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+
+	shed := validScaler()
+	shed.ShedLo, shed.ShedHi = 0.5, 0.01
+	err := shed.Validate(4)
+	if err == nil {
+		t.Error("ShedLo > ShedHi accepted")
+	} else if !strings.Contains(err.Error(), "shed thresholds inverted") {
+		t.Errorf("shed-ordering error should say so: %v", err)
+	}
+
+	p99 := validScaler()
+	p99.P99LoUS, p99.P99HiUS = 30000, 20000
+	err = p99.Validate(4)
+	if err == nil {
+		t.Error("P99LoUS > P99HiUS accepted")
+	} else if !strings.Contains(err.Error(), "p99 thresholds inverted") {
+		t.Errorf("p99-ordering error should say so: %v", err)
+	}
+
+	// The historical relaxed configs stay valid: a negative ShedLo (never
+	// shrink on shed) and a zero P99LoUS are below their Hi counterparts.
+	relaxed := validScaler()
+	relaxed.ShedLo, relaxed.P99LoUS = -1, 0
+	if err := relaxed.Validate(4); err != nil {
+		t.Errorf("relaxed thresholds rejected: %v", err)
+	}
+}
+
+func TestAutoscalerValidatePolicy(t *testing.T) {
+	cfg := validScaler()
+	cfg.Policy = ScalerPredictive
+	err := cfg.Validate(4)
+	if err == nil {
+		t.Error("predictive policy without BoardRatePerSec accepted")
+	} else if !strings.Contains(err.Error(), "BoardRatePerSec") {
+		t.Errorf("error should name the missing field: %v", err)
+	}
+	cfg.BoardRatePerSec = 400
+	if err := cfg.Validate(4); err != nil {
+		t.Errorf("well-formed predictive config rejected: %v", err)
+	}
+	cfg.Policy = "psychic"
+	if err := cfg.Validate(4); err == nil || !strings.Contains(err.Error(), "psychic") {
+		t.Errorf("unknown policy should be rejected by name, got %v", err)
+	}
+	for _, p := range []ScalerPolicy{"", ScalerReactive} {
+		cfg := validScaler()
+		cfg.Policy = p
+		if err := cfg.Validate(4); err != nil {
+			t.Errorf("policy %q rejected: %v", p, err)
+		}
+	}
+}
+
+// TestAutoscalerEmptyWindowsNoSpuriousShrink covers the empty/skipped
+// window satellite: a stretch of windows with zero arrivals must not
+// panic on the empty p99 sample and — with ShedLo and P99LoUS at 0 — must
+// not emit shrink events either (the shrink rule wants p99 *below* the
+// floor, and an empty sample's p99 is exactly 0).
+func TestAutoscalerEmptyWindowsNoSpuriousShrink(t *testing.T) {
+	cfg := validScaler()
+	cfg.ShedLo, cfg.P99LoUS = 0, 0
+	a := newAutoscaler(cfg)
+	// Ten fully empty windows: no arrivals or completions ever observed.
+	active := a.evaluate(10*cfg.Window, 2, 0)
+	if active != 2 {
+		t.Errorf("empty horizon moved active 2 → %d", active)
+	}
+	if len(a.events) != 0 {
+		t.Errorf("empty horizon emitted %d events: %+v", len(a.events), a.events)
+	}
+	if len(a.log) != 10 {
+		t.Errorf("decided %d windows, want 10", len(a.log))
+	}
+	for _, w := range a.log {
+		if w.Offered != 0 || w.Shed != 0 || w.ObservedPerSec != 0 || w.Active != 2 {
+			t.Fatalf("empty window logged as %+v", w)
+		}
+	}
+}
+
+// TestAutoscalerSkippedWindowsDecideOnce: evaluate jumping several windows
+// ahead (a long arrival gap) decides each window exactly once — no window
+// is decided twice on the next call, none is skipped.
+func TestAutoscalerSkippedWindowsDecideOnce(t *testing.T) {
+	cfg := validScaler()
+	cfg.P99LoUS = 0 // keep the empty gap windows from shrinking
+	a := newAutoscaler(cfg)
+	// A shedding first window, then a dead gap of three windows.
+	for i := 0; i < 10; i++ {
+		a.observeArrival(sim.Duration(i)*sim.Millisecond, i%2 == 0)
+	}
+	active := a.evaluate(4*cfg.Window+sim.Millisecond, 1, 0)
+	if a.evaled != 4 {
+		t.Fatalf("decided %d windows, want 4", a.evaled)
+	}
+	// Window 0 sheds 50% → grow to 2; windows 1–3 are empty and must not
+	// grow again (their shed fraction is 0).
+	if active != 2 {
+		t.Errorf("active = %d, want 2 (one grow from the shedding window)", active)
+	}
+	if len(a.events) != 1 {
+		t.Fatalf("events = %+v, want exactly one grow", a.events)
+	}
+	// Re-evaluating at the same instant decides nothing further.
+	again := a.evaluate(4*cfg.Window+sim.Millisecond, active, 0)
+	if again != active || a.evaled != 4 || len(a.events) != 1 {
+		t.Errorf("re-evaluate re-decided: active %d, evaled %d, events %d",
+			again, a.evaled, len(a.events))
+	}
+	// The next window boundary decides exactly one more.
+	a.evaluate(5*cfg.Window, active, 0)
+	if a.evaled != 5 {
+		t.Errorf("evaled = %d after one more boundary, want 5", a.evaled)
+	}
+}
+
+// TestAutoscalerPredictiveForecastTracksTrend pins the predictive policy's
+// core behaviour: under a rising rate the Holt forecast extrapolates the
+// trend and retargets several boards in one decision — the pre-provisioning
+// a reactive one-step policy cannot do — and the events record forecast vs
+// observed.
+func TestAutoscalerPredictiveForecastTracksTrend(t *testing.T) {
+	cfg := validScaler()
+	cfg.Policy = ScalerPredictive
+	cfg.BoardRatePerSec = 400
+	a := newAutoscaler(cfg)
+	// Two quiet windows at 200 req/s, then a flash to 1600 req/s: 5/5/40/40
+	// arrivals per 25 ms window. The jump puts a large step into the Holt
+	// trend, so the first spike window already retargets several boards at
+	// once, and by the second the forecast overshoots the observation.
+	counts := []int{5, 5, 40, 40}
+	for w, n := range counts {
+		for i := 0; i < n; i++ {
+			at := sim.Duration(w)*cfg.Window + sim.Duration(i)*sim.Microsecond
+			a.observeArrival(at, false)
+		}
+	}
+	active := a.evaluate(sim.Duration(len(counts))*cfg.Window, 1, 0)
+	if active != cfg.Max {
+		t.Errorf("sustained 1600 req/s should clamp at Max=%d, active = %d", cfg.Max, active)
+	}
+	if len(a.events) == 0 {
+		t.Fatal("no scale events under a 4× rate ramp")
+	}
+	multi := false
+	for _, ev := range a.events {
+		if ev.ForecastPerSec <= 0 || ev.ObservedPerSec <= 0 {
+			t.Errorf("predictive event missing forecast/observed: %+v", ev)
+		}
+		if ev.To-ev.From > 1 {
+			multi = true
+		}
+		if !strings.Contains(ev.Reason, "forecast") {
+			t.Errorf("predictive reason should name the forecast: %q", ev.Reason)
+		}
+	}
+	if !multi {
+		t.Errorf("no multi-board retarget in %+v", a.events)
+	}
+	// The step's trend carries the final forecast past the observation.
+	last := a.log[len(a.log)-1]
+	if last.ForecastPerSec <= last.ObservedPerSec {
+		t.Errorf("post-step trend: forecast %.0f should exceed observed %.0f",
+			last.ForecastPerSec, last.ObservedPerSec)
+	}
+}
+
+// TestAutoscalerPredictiveShrinksAfterPeak: once the rate falls back, the
+// forecast follows it down and the policy releases boards (clamped at Min).
+func TestAutoscalerPredictiveShrinksAfterPeak(t *testing.T) {
+	cfg := validScaler()
+	cfg.Policy = ScalerPredictive
+	cfg.BoardRatePerSec = 400
+	a := newAutoscaler(cfg)
+	counts := []int{40, 40, 10, 5, 5, 5, 5, 5}
+	for w, n := range counts {
+		for i := 0; i < n; i++ {
+			a.observeArrival(sim.Duration(w)*cfg.Window+sim.Duration(i)*sim.Microsecond, false)
+		}
+	}
+	active := a.evaluate(sim.Duration(len(counts))*cfg.Window, 1, 0)
+	if active != cfg.Min {
+		t.Errorf("after the peak drains the policy should settle at Min=%d, got %d", cfg.Min, active)
+	}
+	peak := 0
+	for _, w := range a.log {
+		if w.Active > peak {
+			peak = w.Active
+		}
+	}
+	if peak < 4 {
+		t.Errorf("peak active %d, want the 1600 req/s windows to demand 4 boards", peak)
+	}
+}

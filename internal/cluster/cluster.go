@@ -357,6 +357,7 @@ func (f *Fleet) Serve(tr workload.Trace) (*FleetStats, error) {
 	}
 	if f.scaler != nil {
 		stats.ScaleEvents = append(stats.ScaleEvents, f.scaler.events...)
+		stats.Windows = append(stats.Windows, f.scaler.log...)
 	}
 	stats.Aggregate = mergeStats(stats.Boards)
 	return stats, nil

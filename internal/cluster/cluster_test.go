@@ -297,3 +297,67 @@ func TestFleetConfigErrors(t *testing.T) {
 		t.Error("a fleet is single-use: second Serve must fail")
 	}
 }
+
+// TestFleetPerClassAccounting: a classed trace served across a fleet
+// merges per-class stats board-by-board, every offered request lands in
+// exactly one terminal per-class counter, and a classless trace leaves the
+// class map empty.
+func TestFleetPerClassAccounting(t *testing.T) {
+	f := mustFleet(t, FleetConfig{
+		Boards:  zedboards(3),
+		Seed:    42,
+		FreqMHz: 200,
+		Router:  LeastOutstanding(),
+		Service: ServiceTemplate{Prewarm: testASPs},
+	})
+	spec := workload.ArrivalSpec{
+		RatePerSec: 900,
+		Deadline:   50 * sim.Millisecond,
+		Classes: []workload.SLOClass{
+			{Name: "latency", Deadline: 10 * sim.Millisecond, Weight: 1},
+			{Name: "batch", Weight: 1},
+		},
+	}
+	tr := mustTrace(t, spec, 7, 120, f.RPNames())
+	st, err := f.Serve(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := st.Aggregate
+	names := agg.ClassNames()
+	if !reflect.DeepEqual(names, []string{"batch", "latency"}) {
+		t.Fatalf("class names = %v, want [batch latency]", names)
+	}
+	offered := 0
+	for _, name := range names {
+		c := agg.Classes[name]
+		if c.Offered == 0 {
+			t.Errorf("class %q saw no traffic in a 120-request trace", name)
+		}
+		if c.Completed+c.Shed+c.Failed != c.Offered {
+			t.Errorf("class %q: completed %d + shed %d + failed %d ≠ offered %d",
+				name, c.Completed, c.Shed, c.Failed, c.Offered)
+		}
+		offered += c.Offered
+	}
+	if offered != agg.Offered {
+		t.Errorf("per-class offered sums to %d, fleet offered %d", offered, agg.Offered)
+	}
+
+	// A classless trace keeps the merged class map empty.
+	plain := mustTrace(t, workload.ArrivalSpec{RatePerSec: 900}, 7, 32, f.RPNames())
+	f2 := mustFleet(t, FleetConfig{
+		Boards:  zedboards(3),
+		Seed:    42,
+		FreqMHz: 200,
+		Router:  LeastOutstanding(),
+		Service: ServiceTemplate{Prewarm: testASPs},
+	})
+	st2, err := f2.Serve(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st2.Aggregate.Classes) != 0 {
+		t.Errorf("classless run recorded classes: %v", st2.Aggregate.ClassNames())
+	}
+}

@@ -29,6 +29,10 @@ type FleetStats struct {
 	Aggregate hll.ServiceStats
 	// ScaleEvents is the autoscaler's decision log (empty without one).
 	ScaleEvents []ScaleEvent
+	// Windows is the autoscaler's per-window trajectory — offered/shed
+	// counts, observed and forecast rates, and the post-decision active
+	// board count for every fully decided window (empty without a scaler).
+	Windows []WindowStat
 	// PeakActive and FinalActive record the active-set trajectory.
 	PeakActive, FinalActive int
 
@@ -101,6 +105,7 @@ func (fs *FleetStats) RoutingSpread() float64 {
 func mergeStats(boards []BoardStats) hll.ServiceStats {
 	var agg hll.ServiceStats
 	agg.Tenants = make(map[string]*hll.TenantStats)
+	agg.Classes = make(map[string]*hll.TenantStats)
 	for i := range boards {
 		b := &boards[i].Stats
 		agg.Requests += b.Requests
@@ -142,6 +147,19 @@ func mergeStats(boards []BoardStats) hll.ServiceStats {
 			at.Shed += t.Shed
 			at.Failed += t.Failed
 			at.DeadlineMisses += t.DeadlineMisses
+		}
+		for _, name := range b.ClassNames() {
+			c := b.Classes[name]
+			ac, ok := agg.Classes[name]
+			if !ok {
+				ac = &hll.TenantStats{}
+				agg.Classes[name] = ac
+			}
+			ac.Offered += c.Offered
+			ac.Completed += c.Completed
+			ac.Shed += c.Shed
+			ac.Failed += c.Failed
+			ac.DeadlineMisses += c.DeadlineMisses
 		}
 	}
 	return agg

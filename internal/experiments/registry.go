@@ -267,6 +267,14 @@ func init() {
 		Merge:   chaosMerge,
 	})
 	Register(Scenario{
+		ID:      "E16",
+		Title:   diurnalTitle,
+		Aliases: []string{"diurnal"},
+		Shards:  diurnalShards,
+		Run:     diurnalShard,
+		Merge:   diurnalMerge,
+	})
+	Register(Scenario{
 		ID:      "A1",
 		Title:   "CRC read-back overhead on the foreground transfer",
 		Aliases: []string{"crc"},

@@ -75,12 +75,26 @@ type ServiceStats struct {
 	RepairTime         sim.Duration
 	// Tenants breaks the run down per traffic source.
 	Tenants map[string]*TenantStats
+	// Classes breaks the run down per SLO class (see workload.SLOClass).
+	// Unclassed requests are not recorded here, so classless streams keep
+	// the map empty.
+	Classes map[string]*TenantStats
 }
 
 // TenantNames returns the tenants seen, sorted for stable rendering.
 func (s *ServiceStats) TenantNames() []string {
 	names := make([]string, 0, len(s.Tenants))
 	for n := range s.Tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ClassNames returns the SLO classes seen, sorted for stable rendering.
+func (s *ServiceStats) ClassNames() []string {
+	names := make([]string, 0, len(s.Classes))
+	for n := range s.Classes {
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -145,6 +159,7 @@ func NewService(ctrl *core.Controller, cfg ServiceConfig) *Service {
 		queues: make(map[string]*sched.Queue),
 	}
 	s.stats.Tenants = make(map[string]*TenantStats)
+	s.stats.Classes = make(map[string]*TenantStats)
 	for _, name := range s.eng.order {
 		s.queues[name] = sched.NewQueue(cfg.QueueCap)
 	}
@@ -156,6 +171,20 @@ func (s *Service) Stats() ServiceStats { return s.stats }
 
 // Policy returns the active dispatch policy.
 func (s *Service) Policy() sched.Policy { return s.policy }
+
+// class returns the per-SLO-class accumulator; nil for unclassed requests
+// (callers skip the accounting entirely, keeping classless runs untouched).
+func (s *Service) class(name string) *TenantStats {
+	if name == "" {
+		return nil
+	}
+	c, ok := s.stats.Classes[name]
+	if !ok {
+		c = &TenantStats{}
+		s.stats.Classes[name] = c
+	}
+	return c
+}
 
 // tenant returns the per-tenant accumulator.
 func (s *Service) tenant(name string) *TenantStats {
@@ -259,6 +288,7 @@ func (s *Service) admit(req workload.Request, start sim.Time) {
 		RP:     req.RP,
 		ASP:    req.ASP,
 		Tenant: req.Tenant,
+		Class:  req.Class,
 	}
 	if req.Deadline > 0 {
 		it.Deadline = at.Add(req.Deadline)
@@ -266,11 +296,18 @@ func (s *Service) admit(req workload.Request, start sim.Time) {
 	s.stats.Offered++
 	t := s.tenant(req.Tenant)
 	t.Offered++
+	c := s.class(req.Class)
+	if c != nil {
+		c.Offered++
+	}
 	if s.queues[req.RP].Offer(it) {
 		s.stats.Admitted++
 	} else {
 		s.stats.Shed++
 		t.Shed++
+		if c != nil {
+			c.Shed++
+		}
 		s.done++
 	}
 }
@@ -381,6 +418,9 @@ func (s *Service) serveItem(it *sched.Item, st *rpState, now sim.Time) error {
 			// CRC rejected the image: the request is dropped (visible in
 			// Failures and the tenant's Failed), the partition left empty.
 			s.tenant(it.Tenant).Failed++
+			if c := s.class(it.Class); c != nil {
+				c.Failed++
+			}
 			s.done++
 			return nil
 		}
@@ -396,6 +436,9 @@ func (s *Service) serveItem(it *sched.Item, st *rpState, now sim.Time) error {
 				// A reload repair failed verification: dropped like any
 				// CRC-failed load, the partition left empty.
 				s.tenant(it.Tenant).Failed++
+				if c := s.class(it.Class); c != nil {
+					c.Failed++
+				}
 				s.done++
 				return nil
 			}
@@ -423,9 +466,16 @@ func (s *Service) serveItem(it *sched.Item, st *rpState, now sim.Time) error {
 		s.stats.SojournUS.Add(end.Sub(it.At).Microseconds())
 		t := s.tenant(it.Tenant)
 		t.Completed++
+		c := s.class(it.Class)
+		if c != nil {
+			c.Completed++
+		}
 		if it.Deadline > 0 && end > it.Deadline {
 			s.stats.DeadlineMisses++
 			t.DeadlineMisses++
+			if c != nil {
+				c.DeadlineMisses++
+			}
 		}
 		if s.onComplete != nil {
 			s.onComplete(end.Sub(s.start), end.Sub(it.At))
@@ -550,6 +600,9 @@ func (s *Service) Crash() {
 		if st.inflight != nil {
 			s.eng.traffic[name].Stop()
 			s.tenant(st.inflight.Tenant).Failed++
+			if c := s.class(st.inflight.Class); c != nil {
+				c.Failed++
+			}
 			s.stats.Lost++
 			s.done++
 			st.inflight = nil
@@ -562,6 +615,9 @@ func (s *Service) Crash() {
 		for q.Len() > 0 {
 			it := q.Remove(0)
 			s.tenant(it.Tenant).Failed++
+			if c := s.class(it.Class); c != nil {
+				c.Failed++
+			}
 			s.stats.Lost++
 			s.done++
 		}

@@ -28,6 +28,8 @@ type Item struct {
 	RP, ASP string
 	// Tenant attributes the request ("" = anonymous).
 	Tenant string
+	// Class names the request's SLO class ("" = unclassed).
+	Class string
 	// Deadline is the absolute completion deadline (0 = none).
 	Deadline sim.Time
 }

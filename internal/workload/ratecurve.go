@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// This file holds the time-varying side of the arrival model: a RateCurve
+// shapes the offered rate over a simulated day (diurnal profiles, flash
+// crowds), and ArrivalSpec composes it with the burst/skew machinery by
+// thinning — candidates are drawn at the curve's peak rate and accepted
+// with probability rate(t)/peak, the standard non-homogeneous-Poisson
+// construction. A nil curve keeps the stationary generators bit for bit.
+
+// RatePoint anchors a piecewise-linear rate curve: at time At the offered
+// rate is RatePerSec, and the rate interpolates linearly between anchors.
+type RatePoint struct {
+	// At is the anchor's position on the arrival timeline.
+	At sim.Duration
+	// RatePerSec is the offered rate at the anchor.
+	RatePerSec float64
+}
+
+// Flash is one flash-crowd spike added on top of the base curve: the extra
+// rate ramps linearly from zero to PeakPerSec over Ramp, holds the peak for
+// Hold, then decays linearly back to zero over Decay. A zero Ramp or Decay
+// makes that edge instantaneous.
+type Flash struct {
+	// Start is when the spike begins to ramp.
+	Start sim.Duration
+	// Ramp, Hold and Decay shape the spike's three phases.
+	Ramp, Hold, Decay sim.Duration
+	// PeakPerSec is the extra offered rate at the top of the spike.
+	PeakPerSec float64
+}
+
+// end is the instant the spike's contribution returns to zero.
+func (f Flash) end() sim.Duration { return f.Start + f.Ramp + f.Hold + f.Decay }
+
+// rate is the spike's contribution at time t.
+func (f Flash) rate(t sim.Duration) float64 {
+	switch {
+	case t < f.Start:
+		return 0
+	case t < f.Start+f.Ramp:
+		return f.PeakPerSec * float64(t-f.Start) / float64(f.Ramp)
+	case t <= f.Start+f.Ramp+f.Hold:
+		return f.PeakPerSec
+	case t < f.end():
+		return f.PeakPerSec * (1 - float64(t-f.Start-f.Ramp-f.Hold)/float64(f.Decay))
+	default:
+		return 0
+	}
+}
+
+// RateCurve is a time-varying offered-rate profile: a piecewise-linear base
+// (the diurnal shape) plus zero or more flash-crowd spikes. The curve is
+// pure data — evaluating it never draws randomness — so a generator driven
+// by one stays a pure function of (spec, seed).
+type RateCurve struct {
+	// Points is the base profile in ascending At order (at least one).
+	// Before the first anchor and after the last the base rate clamps.
+	Points []RatePoint
+	// Flashes are spikes added on top of the base.
+	Flashes []Flash
+}
+
+// Validate checks the curve is well-formed: ordered non-negative anchors,
+// non-negative spike shapes, and a positive peak (an all-zero curve can
+// generate nothing).
+func (c *RateCurve) Validate() error {
+	if len(c.Points) == 0 {
+		return fmt.Errorf("workload: rate curve needs at least one anchor point")
+	}
+	for i, p := range c.Points {
+		if p.At < 0 || p.RatePerSec < 0 {
+			return fmt.Errorf("workload: rate curve anchor %d negative (at %v, %v req/s)", i, p.At, p.RatePerSec)
+		}
+		if i > 0 && p.At < c.Points[i-1].At {
+			return fmt.Errorf("workload: rate curve anchors not time-ordered at index %d", i)
+		}
+	}
+	for i, f := range c.Flashes {
+		if f.Start < 0 || f.Ramp < 0 || f.Hold < 0 || f.Decay < 0 || f.PeakPerSec < 0 {
+			return fmt.Errorf("workload: flash %d has a negative field", i)
+		}
+	}
+	if c.Peak() <= 0 {
+		return fmt.Errorf("workload: rate curve peak must be positive")
+	}
+	return nil
+}
+
+// Rate evaluates the curve at time t: the interpolated base plus every
+// active spike.
+func (c *RateCurve) Rate(t sim.Duration) float64 {
+	r := c.base(t)
+	for _, f := range c.Flashes {
+		r += f.rate(t)
+	}
+	return r
+}
+
+// base interpolates the piecewise-linear profile, clamping outside the
+// anchor span.
+func (c *RateCurve) base(t sim.Duration) float64 {
+	pts := c.Points
+	if len(pts) == 0 {
+		return 0
+	}
+	if t <= pts[0].At {
+		return pts[0].RatePerSec
+	}
+	for i := 1; i < len(pts); i++ {
+		if t > pts[i].At {
+			continue
+		}
+		a, b := pts[i-1], pts[i]
+		if b.At == a.At {
+			return b.RatePerSec
+		}
+		frac := float64(t-a.At) / float64(b.At-a.At)
+		return a.RatePerSec + frac*(b.RatePerSec-a.RatePerSec)
+	}
+	return pts[len(pts)-1].RatePerSec
+}
+
+// Peak is the curve's maximum rate. The sum of piecewise-linear functions
+// is piecewise-linear, so the maximum sits on a breakpoint: every anchor
+// and every spike corner.
+func (c *RateCurve) Peak() float64 {
+	max := 0.0
+	eval := func(t sim.Duration) {
+		if r := c.Rate(t); r > max {
+			max = r
+		}
+	}
+	eval(0)
+	for _, p := range c.Points {
+		eval(p.At)
+	}
+	for _, f := range c.Flashes {
+		eval(f.Start)
+		eval(f.Start + f.Ramp)
+		eval(f.Start + f.Ramp + f.Hold)
+		eval(f.end())
+	}
+	return max
+}
+
+// Horizon is the instant the curve stops describing new shape: the last
+// anchor or the end of the last spike, whichever is later. GenerateUntil
+// with this horizon replays the whole described day.
+func (c *RateCurve) Horizon() sim.Duration {
+	h := sim.Duration(0)
+	if n := len(c.Points); n > 0 {
+		h = c.Points[n-1].At
+	}
+	for _, f := range c.Flashes {
+		if e := f.end(); e > h {
+			h = e
+		}
+	}
+	return h
+}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// This file is the on-disk trace format: a versioned JSON document a
+// campaign can export, archive and replay. The encoding is canonical —
+// fixed field order, fixed indentation, integer picosecond timestamps —
+// so export → import → export is byte-identical and CI can diff trace
+// files like any other artefact.
+
+// TraceFileVersion is the schema version this build reads and writes.
+// Import rejects files from a newer schema instead of misreading them.
+const TraceFileVersion = 1
+
+// traceFileRecord is one request on disk. Times are raw sim.Duration
+// ticks (picoseconds): integers round-trip exactly, floats would not.
+type traceFileRecord struct {
+	AtPS       int64  `json:"at_ps"`
+	RP         string `json:"rp"`
+	ASP        string `json:"asp"`
+	Tenant     string `json:"tenant,omitempty"`
+	Class      string `json:"class,omitempty"`
+	DeadlinePS int64  `json:"deadline_ps,omitempty"`
+}
+
+// traceFile is the document root.
+type traceFile struct {
+	Version  int               `json:"version"`
+	Requests []traceFileRecord `json:"requests"`
+}
+
+// ExportTrace encodes the trace in the canonical on-disk form. Identical
+// traces encode to identical bytes.
+func ExportTrace(tr Trace) ([]byte, error) {
+	doc := traceFile{Version: TraceFileVersion, Requests: make([]traceFileRecord, len(tr))}
+	for i, req := range tr {
+		doc.Requests[i] = traceFileRecord{
+			AtPS:       int64(req.At),
+			RP:         req.RP,
+			ASP:        req.ASP,
+			Tenant:     req.Tenant,
+			Class:      req.Class,
+			DeadlinePS: int64(req.Deadline),
+		}
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// ImportTrace decodes an exported trace file, checking the schema version
+// and the trace invariants (time order, named RPs/ASPs, non-negative
+// times). A file written by a newer build is rejected with a clear error
+// rather than silently dropping fields it introduced.
+func ImportTrace(data []byte) (Trace, error) {
+	var doc traceFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("workload: trace file is not valid JSON: %w", err)
+	}
+	switch {
+	case doc.Version < 1:
+		return nil, fmt.Errorf("workload: trace file missing schema version (want \"version\": %d)", TraceFileVersion)
+	case doc.Version > TraceFileVersion:
+		return nil, fmt.Errorf("workload: trace file schema version %d is newer than this build supports (%d) — regenerate the trace or upgrade",
+			doc.Version, TraceFileVersion)
+	}
+	tr := make(Trace, len(doc.Requests))
+	last := int64(-1)
+	for i, rec := range doc.Requests {
+		switch {
+		case rec.AtPS < 0 || rec.DeadlinePS < 0:
+			return nil, fmt.Errorf("workload: trace file request %d has a negative time", i)
+		case rec.AtPS < last:
+			return nil, fmt.Errorf("workload: trace file not time-ordered at request %d", i)
+		case rec.RP == "" || rec.ASP == "":
+			return nil, fmt.Errorf("workload: trace file request %d missing rp or asp", i)
+		}
+		last = rec.AtPS
+		tr[i] = Request{
+			At:       sim.Duration(rec.AtPS),
+			RP:       rec.RP,
+			ASP:      rec.ASP,
+			Tenant:   rec.Tenant,
+			Class:    rec.Class,
+			Deadline: sim.Duration(rec.DeadlinePS),
+		}
+	}
+	return tr, nil
+}

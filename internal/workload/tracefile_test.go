@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func sampleTrace(t *testing.T) Trace {
+	t.Helper()
+	spec := ArrivalSpec{
+		RatePerSec: 300,
+		Tenants:    []string{"alpha", "beta"},
+		Classes: []SLOClass{
+			{Name: "latency", Deadline: 20 * sim.Millisecond, Weight: 3},
+			{Name: "batch", Deadline: 120 * sim.Millisecond},
+		},
+	}
+	tr, err := spec.Generate(5, 64, []string{"RP1", "RP2"}, []string{"fir128", "sha3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestTraceFileRoundTripByteIdentical is the format's core contract:
+// export → import → re-export is byte-identical, and the imported trace
+// equals the original request for request.
+func TestTraceFileRoundTripByteIdentical(t *testing.T) {
+	tr := sampleTrace(t)
+	data, err := ExportTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ImportTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(tr) {
+		t.Fatalf("imported %d requests, want %d", len(back), len(tr))
+	}
+	for i := range tr {
+		if back[i] != tr[i] {
+			t.Fatalf("request %d round-trips to %+v, want %+v", i, back[i], tr[i])
+		}
+	}
+	again, err := ExportTrace(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("re-export is not byte-identical to the original export")
+	}
+	// Repeated exports of the same trace are identical too (canonical form).
+	repeat, err := ExportTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, repeat) {
+		t.Fatal("repeated export differs")
+	}
+}
+
+// TestTraceFileRejectsFutureVersion pins the schema-version gate: a file
+// stamped by a newer build must fail with an error naming both versions,
+// not silently drop fields.
+func TestTraceFileRejectsFutureVersion(t *testing.T) {
+	data, err := ExportTrace(sampleTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bumped := bytes.Replace(data,
+		[]byte(`"version": 1`),
+		[]byte(`"version": 2`), 1)
+	if bytes.Equal(bumped, data) {
+		t.Fatal("test did not bump the version field")
+	}
+	_, err = ImportTrace(bumped)
+	if err == nil {
+		t.Fatal("future-version trace file accepted")
+	}
+	if !strings.Contains(err.Error(), "version 2") || !strings.Contains(err.Error(), "newer") {
+		t.Errorf("rejection should name the offending version: %v", err)
+	}
+}
+
+func TestTraceFileRejectsMalformedInput(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"not json", "not json", "valid JSON"},
+		{"missing version", `{"requests": []}`, "missing schema version"},
+		{"negative time", `{"version": 1, "requests": [{"at_ps": -1, "rp": "RP1", "asp": "fir128"}]}`, "negative time"},
+		{"unordered", `{"version": 1, "requests": [
+			{"at_ps": 5, "rp": "RP1", "asp": "fir128"},
+			{"at_ps": 1, "rp": "RP1", "asp": "fir128"}]}`, "time-ordered"},
+		{"missing rp", `{"version": 1, "requests": [{"at_ps": 1, "asp": "fir128"}]}`, "missing rp or asp"},
+	}
+	for _, tc := range cases {
+		_, err := ImportTrace([]byte(tc.data))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q should mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestTraceFileOmitsEmptyOptionalFields keeps the on-disk form minimal:
+// anonymous classless no-deadline requests encode without the optional
+// keys, so stationary traces stay compact and diffs stay readable.
+func TestTraceFileOmitsEmptyOptionalFields(t *testing.T) {
+	data, err := ExportTrace(Trace{{At: 1, RP: "RP1", ASP: "fir128"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"tenant", "class", "deadline_ps"} {
+		if bytes.Contains(data, []byte(key)) {
+			t.Errorf("zero-valued %q should be omitted:\n%s", key, data)
+		}
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["version"].(float64) != TraceFileVersion {
+		t.Errorf("version = %v, want %d", doc["version"], TraceFileVersion)
+	}
+}

@@ -104,6 +104,8 @@ type Request struct {
 	// Tenant attributes the request to a traffic source (multi-tenant
 	// serving); "" is anonymous.
 	Tenant string
+	// Class names the request's SLO class (see SLOClass); "" is unclassed.
+	Class string
 	// Deadline is the latency budget relative to At (0 = none). The
 	// reconfiguration service counts completions past it as deadline misses.
 	Deadline sim.Duration

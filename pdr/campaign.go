@@ -79,6 +79,8 @@ type campaignConfig struct {
 	chaosCrashes    int
 	chaosExcursions int
 	chaosGlitches   int
+	traceFile       string
+	scaler          string
 }
 
 // WithCampaignSeed fixes the deterministic seed (default 42, the suite's
@@ -149,6 +151,21 @@ func WithChaosStorm(crashes, excursions, glitches int) CampaignOption {
 		c.chaosExcursions = excursions
 		c.chaosGlitches = glitches
 	}
+}
+
+// WithTraceFile replays the diurnal scenario's (E16) arrival stream from a
+// versioned trace file (see ExportTrace/ImportTrace) instead of generating
+// it from the campaign seed. The file's bytes become part of the campaign
+// configuration: identical file, identical run.
+func WithTraceFile(path string) CampaignOption {
+	return func(c *campaignConfig) { c.traceFile = path }
+}
+
+// WithScalerPolicy restricts the diurnal scenario (E16) to a single
+// autoscaler policy instead of comparing every policy (see
+// ScalerPolicies).
+func WithScalerPolicy(policy ScalerPolicy) CampaignOption {
+	return func(c *campaignConfig) { c.scaler = string(policy) }
 }
 
 // Campaign runs a set of registered scenarios, sharded across a pool of
@@ -226,6 +243,8 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 		ChaosCrashes:    c.cfg.chaosCrashes,
 		ChaosExcursions: c.cfg.chaosExcursions,
 		ChaosGlitches:   c.cfg.chaosGlitches,
+		TraceFile:       c.cfg.traceFile,
+		Scaler:          c.cfg.scaler,
 	}
 	if err := c.cfg.variant.apply(&ecfg); err != nil {
 		return nil, err

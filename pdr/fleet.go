@@ -6,6 +6,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/sched"
+	"repro/internal/sim"
 )
 
 // Re-exported fleet types.
@@ -17,8 +18,15 @@ type (
 	BoardStats = cluster.BoardStats
 	// ScaleEvent is one autoscaler decision.
 	ScaleEvent = cluster.ScaleEvent
-	// AutoscalePolicy bounds and thresholds for the reactive autoscaler.
+	// AutoscalePolicy bounds, thresholds and decision rule for the
+	// autoscaler (reactive thresholds or the predictive forecast).
 	AutoscalePolicy = cluster.AutoscalerConfig
+	// ScalerPolicy names an autoscaler decision rule (see ScalerReactive,
+	// ScalerPredictive).
+	ScalerPolicy = cluster.ScalerPolicy
+	// WindowStat is one decided window of the scaler's trajectory
+	// (offered/shed counts, observed and forecast rates, active boards).
+	WindowStat = cluster.WindowStat
 	// ChaosPolicy attaches a fault schedule and the fleet's self-healing
 	// machinery (health probes, failover, outlier ejection, hedging) to a
 	// run. Nil keeps the historical fault-free semantics bit for bit.
@@ -30,6 +38,20 @@ type (
 	// CRC glitch).
 	FaultEvent = chaos.Event
 )
+
+// The autoscaler decision rules an AutoscalePolicy selects between.
+const (
+	// ScalerReactive steps the active set by one board on the decided
+	// window's own shed/p99 signals (the "" default).
+	ScalerReactive = cluster.ScalerReactive
+	// ScalerPredictive forecasts the next window's arrival rate (Holt
+	// smoothing over the observed windows) and retargets to the board
+	// count that rate needs, pre-provisioning ahead of building load.
+	ScalerPredictive = cluster.ScalerPredictive
+)
+
+// ScalerPolicies lists the recognised autoscaler policy names.
+func ScalerPolicies() []string { return cluster.ScalerPolicies() }
 
 // Routers lists the fleet routing policies Serve accepts, in presentation
 // order: round-robin, least-outstanding (join-shortest-queue), weighted
@@ -193,6 +215,13 @@ func (f *Fleet) RPNames() []string { return append([]string(nil), f.common...) }
 // RPs from the spec — the fleet counterpart of System.OpenTrace.
 func (f *Fleet) OpenTrace(spec ArrivalSpec, seed uint64, n int, asps []string) (Trace, error) {
 	return spec.Generate(seed, n, f.RPNames(), asps)
+}
+
+// OpenTraceUntil generates an open-loop arrival stream covering the time
+// horizon instead of a fixed request count — the natural form when the
+// spec carries a RateCurve whose shape (not a count) defines the run.
+func (f *Fleet) OpenTraceUntil(spec ArrivalSpec, seed uint64, horizon sim.Duration, asps []string) (Trace, error) {
+	return spec.GenerateUntil(seed, horizon, f.RPNames(), asps)
 }
 
 // Serve routes an open-loop request stream across freshly booted boards:

@@ -61,6 +61,18 @@ type (
 	// ArrivalSpec describes an open-loop arrival process (rate, bursts,
 	// tenants, deadlines).
 	ArrivalSpec = workload.ArrivalSpec
+	// RateCurve is a time-varying arrival-rate profile: piecewise-linear
+	// diurnal anchors plus flash-crowd spikes, attached to an ArrivalSpec
+	// via its Curve field.
+	RateCurve = workload.RateCurve
+	// RatePoint is one (time, rate) anchor of a RateCurve.
+	RatePoint = workload.RatePoint
+	// Flash is a flash-crowd spike (ramp/hold/decay) stacked on a
+	// RateCurve's base profile.
+	Flash = workload.Flash
+	// SLOClass is a service-level class requests are drawn into (its own
+	// deadline and traffic share).
+	SLOClass = workload.SLOClass
 	// FrameworkStats summarises a multi-RP accelerator run.
 	FrameworkStats = hll.Stats
 	// ServiceStats summarises an open-loop reconfiguration-service run
@@ -314,6 +326,25 @@ func (s *System) PoissonTrace(seed uint64, n int, meanGapUS float64, asps []stri
 func (s *System) OpenTrace(spec ArrivalSpec, seed uint64, n int, asps []string) (Trace, error) {
 	return spec.Generate(seed, n, s.rpNames(), asps)
 }
+
+// OpenTraceUntil generates an open-loop arrival stream covering the time
+// horizon instead of a fixed request count — the natural form when the
+// spec carries a RateCurve whose shape (not a count) defines the run.
+func (s *System) OpenTraceUntil(spec ArrivalSpec, seed uint64, horizon sim.Duration, asps []string) (Trace, error) {
+	return spec.GenerateUntil(seed, horizon, s.rpNames(), asps)
+}
+
+// TraceFileVersion is the schema version ExportTrace writes and the newest
+// ImportTrace accepts.
+const TraceFileVersion = workload.TraceFileVersion
+
+// ExportTrace encodes a trace as a canonical versioned JSON document:
+// exporting, importing and re-exporting reproduces the bytes exactly.
+func ExportTrace(tr Trace) ([]byte, error) { return workload.ExportTrace(tr) }
+
+// ImportTrace decodes a trace file, rejecting unknown future schema
+// versions and malformed streams with descriptive errors.
+func ImportTrace(data []byte) (Trace, error) { return workload.ImportTrace(data) }
 
 // Policies lists the dispatch policies Serve accepts.
 func Policies() []string { return sched.PolicyNames() }
