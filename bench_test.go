@@ -64,16 +64,30 @@ func BenchmarkTableI_FrequencySweep(b *testing.B) {
 // pdrbench and EXPERIMENTS.md use, so all consumers report one number.
 func benchScenario(b *testing.B, id string) *experiments.Report {
 	b.Helper()
+	return benchFleetScenario(b, id, 0)
+}
+
+// benchFleetScenario is benchScenario with the fleet scenarios' epoch
+// fan-out width applied (0/1 = the sequential loop). Output is
+// byte-identical at every width, so the sub-benchmarks measure pure wall
+// clock against one fixed workload.
+func benchFleetScenario(b *testing.B, id string, fleetWorkers int) *experiments.Report {
+	b.Helper()
 	s, ok := experiments.Lookup(id)
 	if !ok {
 		b.Fatalf("scenario %s not registered", id)
 	}
-	rep, err := experiments.RunSequential(context.Background(), s, experiments.Config{Seed: 42})
+	cfg := experiments.Config{Seed: 42, FleetWorkers: fleetWorkers}
+	rep, err := experiments.RunSequential(context.Background(), s, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
 	return rep
 }
+
+// fleetBenchWorkers is the worker axis the fleet-scenario benchmarks sweep
+// (recorded in BENCH_parfleet.json).
+var fleetBenchWorkers = []int{1, 4, 8}
 
 // BenchmarkFig5_Curve regenerates Fig. 5 (E2): the fine-grained
 // throughput-frequency curve with its 200 MHz knee.
@@ -304,21 +318,25 @@ func BenchmarkSchedPolicies(b *testing.B) {
 // the homogeneous fleet's goodput at 1 and 8 boards and the scaling factor
 // between them (the scenario's headline).
 func BenchmarkFleetSweep(b *testing.B) {
-	var rep *experiments.Report
-	for i := 0; i < b.N; i++ {
-		rep = benchScenario(b, "E13")
-	}
-	series := map[string][]sim.Point{}
-	for _, s := range rep.Series {
-		series[s.Name] = s.Points
-	}
-	if pts := series["e13_zedboard_goodput"]; len(pts) > 1 {
-		first, last := pts[0], pts[len(pts)-1]
-		b.ReportMetric(first.Y, "goodput-1board-req/s")
-		b.ReportMetric(last.Y, "goodput-8boards-req/s")
-		if first.Y > 0 {
-			b.ReportMetric(last.Y/first.Y, "goodput-scaling")
-		}
+	for _, workers := range fleetBenchWorkers {
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			var rep *experiments.Report
+			for i := 0; i < b.N; i++ {
+				rep = benchFleetScenario(b, "E13", workers)
+			}
+			series := map[string][]sim.Point{}
+			for _, s := range rep.Series {
+				series[s.Name] = s.Points
+			}
+			if pts := series["e13_zedboard_goodput"]; len(pts) > 1 {
+				first, last := pts[0], pts[len(pts)-1]
+				b.ReportMetric(first.Y, "goodput-1board-req/s")
+				b.ReportMetric(last.Y, "goodput-8boards-req/s")
+				if first.Y > 0 {
+					b.ReportMetric(last.Y/first.Y, "goodput-scaling")
+				}
+			}
+		})
 	}
 }
 
@@ -351,23 +369,27 @@ func BenchmarkRoutingPolicies(b *testing.B) {
 // successor) and least-outstanding (degrades gracefully — queue depth
 // already encodes board health), in goodput and p99.
 func BenchmarkChaosStorm(b *testing.B) {
-	var rep *experiments.Report
-	for i := 0; i < b.N; i++ {
-		rep = benchScenario(b, "E15")
-	}
-	series := map[string][]sim.Point{}
-	for _, s := range rep.Series {
-		series[s.Name] = s.Points
-	}
-	aff, jsq := series["e15_affinity"], series["e15_least-outstanding"]
-	if len(aff) == 3 && len(jsq) == 3 {
-		b.ReportMetric(100*aff[0].Y, "affinity-avail-%")
-		b.ReportMetric(100*jsq[0].Y, "jsq-avail-%")
-		b.ReportMetric(aff[1].Y, "affinity-goodput-req/s")
-		b.ReportMetric(jsq[1].Y, "jsq-goodput-req/s")
-		if aff[2].Y > 0 {
-			b.ReportMetric(aff[2].Y/jsq[2].Y, "p99-degradation-ratio")
-		}
+	for _, workers := range fleetBenchWorkers {
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			var rep *experiments.Report
+			for i := 0; i < b.N; i++ {
+				rep = benchFleetScenario(b, "E15", workers)
+			}
+			series := map[string][]sim.Point{}
+			for _, s := range rep.Series {
+				series[s.Name] = s.Points
+			}
+			aff, jsq := series["e15_affinity"], series["e15_least-outstanding"]
+			if len(aff) == 3 && len(jsq) == 3 {
+				b.ReportMetric(100*aff[0].Y, "affinity-avail-%")
+				b.ReportMetric(100*jsq[0].Y, "jsq-avail-%")
+				b.ReportMetric(aff[1].Y, "affinity-goodput-req/s")
+				b.ReportMetric(jsq[1].Y, "jsq-goodput-req/s")
+				if aff[2].Y > 0 {
+					b.ReportMetric(aff[2].Y/jsq[2].Y, "p99-degradation-ratio")
+				}
+			}
+		})
 	}
 }
 
@@ -379,23 +401,27 @@ func BenchmarkChaosStorm(b *testing.B) {
 // window while the reactive policy climbs one per window) and the
 // goodput each sustains.
 func BenchmarkDiurnal(b *testing.B) {
-	var rep *experiments.Report
-	for i := 0; i < b.N; i++ {
-		rep = benchScenario(b, "E16")
-	}
-	series := map[string][]sim.Point{}
-	for _, s := range rep.Series {
-		series[s.Name] = s.Points
-	}
-	re, pr := series["e16_reactive"], series["e16_predictive"]
-	if len(re) == 4 && len(pr) == 4 {
-		b.ReportMetric(100*re[0].Y, "reactive-flash-shed-%")
-		b.ReportMetric(100*pr[0].Y, "predictive-flash-shed-%")
-		b.ReportMetric(re[1].Y, "reactive-goodput-req/s")
-		b.ReportMetric(pr[1].Y, "predictive-goodput-req/s")
-		if pr[0].Y > 0 {
-			b.ReportMetric(re[0].Y/pr[0].Y, "flash-shed-ratio")
-		}
+	for _, workers := range fleetBenchWorkers {
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			var rep *experiments.Report
+			for i := 0; i < b.N; i++ {
+				rep = benchFleetScenario(b, "E16", workers)
+			}
+			series := map[string][]sim.Point{}
+			for _, s := range rep.Series {
+				series[s.Name] = s.Points
+			}
+			re, pr := series["e16_reactive"], series["e16_predictive"]
+			if len(re) == 4 && len(pr) == 4 {
+				b.ReportMetric(100*re[0].Y, "reactive-flash-shed-%")
+				b.ReportMetric(100*pr[0].Y, "predictive-flash-shed-%")
+				b.ReportMetric(re[1].Y, "reactive-goodput-req/s")
+				b.ReportMetric(pr[1].Y, "predictive-goodput-req/s")
+				if pr[0].Y > 0 {
+					b.ReportMetric(re[0].Y/pr[0].Y, "flash-shed-ratio")
+				}
+			}
+		})
 	}
 }
 

@@ -11,6 +11,8 @@
 //	pdrbench -parallel 4          # shard the suite over 4 workers
 //	                              # (output is byte-identical to -parallel 1)
 //	pdrbench -parallel 0          # one worker per CPU
+//	pdrbench -fleet-workers 8     # fan each fleet epoch out over 8 goroutines
+//	                              # (0 = one per CPU; output is byte-identical)
 //	pdrbench -fleet 1,2,4         # reshape the E13 fleet-size axis
 //	pdrbench -router affinity     # E13 routing policy
 //	pdrbench -chaos-crashes 3     # reshape the E15 fault storm
@@ -46,6 +48,7 @@ type options struct {
 	run             string
 	platform        string
 	parallel        int
+	fleetWorkers    int
 	seed            uint64
 	jsonOut         bool
 	mdOut           bool
@@ -66,6 +69,7 @@ func main() {
 	flag.StringVar(&opts.run, "run", "all", "comma-separated scenario IDs or aliases (see -list)")
 	flag.StringVar(&opts.platform, "platform", "", "platform profile to run on (default zedboard; see -list)")
 	flag.IntVar(&opts.parallel, "parallel", 1, "campaign workers (0 = one per CPU)")
+	flag.IntVar(&opts.fleetWorkers, "fleet-workers", 1, "goroutines per fleet epoch advance in E13-E16 (0 = one per CPU; output is byte-identical)")
 	flag.Uint64Var(&opts.seed, "seed", 42, "simulation seed")
 	flag.BoolVar(&opts.jsonOut, "json", false, "emit reports as JSON (with -list: the scenario registry)")
 	flag.BoolVar(&opts.mdOut, "md", false, "emit the EXPERIMENTS.md document")
@@ -99,6 +103,9 @@ func realMain(ctx context.Context, w io.Writer, opts options) error {
 	copts := []pdr.CampaignOption{
 		pdr.WithCampaignSeed(opts.seed),
 		pdr.WithWorkers(opts.parallel),
+	}
+	if opts.fleetWorkers != 1 {
+		copts = append(copts, pdr.WithFleetWorkers(opts.fleetWorkers))
 	}
 	if opts.platform != "" {
 		copts = append(copts, pdr.WithBoardVariant(pdr.BoardVariant(opts.platform)))

@@ -5,14 +5,21 @@
 // per-RP queues, plus a reactive autoscaler that grows and shrinks the
 // active board set between bounds.
 //
-// The fleet walks the arrival stream in time order. Before each arrival it
-// advances every board's simulation to the arrival instant, so the router
-// sees exact board state (outstanding work, queue depths) rather than an
-// estimate; then the chosen board admits the request under its own
-// admission control. Determinism is the hard requirement: boards advance
-// and drain in index order, per-board RNG streams derive from the fleet
-// seed and board index, and the merged statistics are a pure function of
-// (seed, trace, fleet config) — byte-identical across repeated runs and
+// The fleet walks the arrival stream in time order as a sequence of
+// epochs, one per distinct arrival timestamp. Before the epoch's arrivals
+// are routed, every board's simulation advances to the epoch instant, so
+// the router sees exact board state (outstanding work, queue depths)
+// rather than an estimate; then the chosen board admits each request under
+// its own admission control. Between routing decisions boards only
+// interact through those assignments, so the per-epoch advance (and the
+// final drain) fans out across FleetConfig.Workers goroutines — each board
+// owns its whole simulation stack, completions buffer per board, and every
+// cross-board fold happens in board-index order on the epoch boundary.
+// Determinism is the hard requirement: routing, chaos injection, health
+// verdicts and autoscaler decisions stay sequential between epochs,
+// per-board RNG streams derive from the fleet seed and board index, and
+// the merged statistics are a pure function of (seed, trace, fleet
+// config) — byte-identical across repeated runs, worker counts and
 // whatever campaign schedule produced them.
 package cluster
 
@@ -26,6 +33,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/workload"
+	"repro/internal/workpool"
 	"repro/internal/zynq"
 )
 
@@ -58,6 +66,12 @@ type ServiceTemplate struct {
 	// (default, frame-wise rewrite) or "reload" (full partial
 	// reconfiguration).
 	Repair string
+	// SketchQuantiles switches every board's latency samples to the
+	// memory-bounded sketch backend (see sim.Sample.UseSketch) — O(sketch
+	// size) memory however long the horizon, quantiles within the sketch's
+	// relative error bound. Default false keeps the exact backend and
+	// byte-identical historical output.
+	SketchQuantiles bool
 }
 
 // FleetConfig assembles a fleet.
@@ -79,6 +93,10 @@ type FleetConfig struct {
 	// on the self-healing machinery (health tracking, failover, hedging).
 	// Nil keeps the historical fault-free semantics bit for bit.
 	Chaos *ChaosConfig
+	// Workers bounds the goroutines the epoch advance and final drain fan
+	// out over (≤ 1 = the historical single-goroutine loop). Output is
+	// byte-identical at every setting; only wall clock changes.
+	Workers int
 	// Service is the per-board service template.
 	Service ServiceTemplate
 }
@@ -93,6 +111,17 @@ type board struct {
 	hasRP    map[string]bool
 	weight   float64
 	assigned int
+	// completions buffers this board's completion observations during an
+	// epoch's (possibly parallel) advance; the fleet folds the buffers into
+	// the autoscaler in board-index order at the epoch boundary, which is
+	// exactly the order the sequential loop produced them in. Unused (nil)
+	// without a scaler.
+	completions []completion
+}
+
+// completion is one buffered onComplete observation.
+type completion struct {
+	rel, sojourn sim.Duration
 }
 
 // Fleet is N boards behind a router. Build with New, serve one stream with
@@ -239,6 +268,7 @@ func newBoard(cfg FleetConfig, spec BoardSpec, index int) (*board, error) {
 		PrewarmASPs:      cfg.Service.Prewarm,
 		Repair:           cfg.Service.Repair,
 		UpsetSeed:        deriveSeed(cfg.Seed, index) ^ 0x5E0D,
+		SketchQuantiles:  cfg.Service.SketchQuantiles,
 	})
 	weighFreq := cfg.FreqMHz
 	if weighFreq <= 0 {
@@ -269,6 +299,59 @@ func (f *Fleet) Router() Router { return f.router }
 // Size returns the fleet's board count.
 func (f *Fleet) Size() int { return len(f.boards) }
 
+// workers resolves the epoch fan-out width: ≤ 1 (and a one-board fleet)
+// runs the historical sequential loop on the calling goroutine.
+func (f *Fleet) workers() int {
+	w := f.cfg.Workers
+	if w < 1 {
+		w = 1
+	}
+	if w > len(f.boards) {
+		w = len(f.boards)
+	}
+	return w
+}
+
+// advanceAll moves every board to the epoch horizon. Boards are independent
+// between routing decisions — each owns its kernel, platform and service —
+// so the fan-out runs on up to workers goroutines, with two deterministic
+// folds afterwards: buffered completions flush into the autoscaler in
+// board-index order, and the lowest-index error (if any) is the one
+// reported, matching the sequential loop's first-failure semantics. Boards
+// with nothing queued take the SkipTo fast path — one RunUntil instead of
+// the dispatch loop's per-wake scaffolding.
+func (f *Fleet) advanceAll(now sim.Duration, workers int, errs []error) error {
+	workpool.Run(len(f.boards), workers, func(i int) {
+		b := f.boards[i]
+		if b.svc.SkipTo(now) {
+			return
+		}
+		errs[i] = b.svc.AdvanceTo(now)
+	})
+	f.flushCompletions()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("cluster: board %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// flushCompletions folds the boards' buffered completion observations into
+// the autoscaler in board-index order — the exact insertion order the
+// sequential loop produced by advancing boards one after another.
+func (f *Fleet) flushCompletions() {
+	if f.scaler == nil {
+		return
+	}
+	for _, b := range f.boards {
+		for _, c := range b.completions {
+			f.scaler.observeCompletion(c.rel, c.sojourn)
+		}
+		b.completions = b.completions[:0]
+	}
+}
+
 // Serve routes the whole arrival stream across the fleet and returns the
 // merged statistics. The trace must be time-ordered and stay within the
 // fleet's common RP set and the ASP library (validated at the fleet door).
@@ -288,7 +371,14 @@ func (f *Fleet) Serve(tr workload.Trace) (*FleetStats, error) {
 
 	for i, b := range f.boards {
 		if f.scaler != nil {
-			b.svc.SetOnComplete(f.scaler.observeCompletion)
+			// Completions buffer per board rather than calling the scaler
+			// directly, so an epoch's advance can fan out across goroutines
+			// without sharing scaler state; flushCompletions folds the
+			// buffers back in index order.
+			b := b
+			b.svc.SetOnComplete(func(rel, sojourn sim.Duration) {
+				b.completions = append(b.completions, completion{rel: rel, sojourn: sojourn})
+			})
 		}
 		if err := b.svc.Begin(); err != nil {
 			return nil, fmt.Errorf("cluster: board %d: %w", i, err)
@@ -303,14 +393,25 @@ func (f *Fleet) Serve(tr workload.Trace) (*FleetStats, error) {
 
 	stats := &FleetStats{}
 	now := sim.Duration(-1)
+	workers := f.workers()
+	errs := make([]error, len(f.boards))
+	// The router's per-board snapshot persists across arrivals: the fields
+	// that never change (Index, Weight) and HasRP — true by construction,
+	// because the trace is validated against the fleet's common RP set, the
+	// intersection every board serves — are set once here; buildViews
+	// refreshes only the dynamic fields each arrival, and the assignment
+	// sites in route/hedge keep Assigned current.
 	views := make([]BoardView, len(f.boards))
+	for i, b := range f.boards {
+		views[i] = BoardView{Index: i, HasRP: true, Weight: b.weight}
+	}
 	for _, req := range tr {
 		if req.At > now {
+			// A new epoch: every arrival sharing a timestamp routes against
+			// this one advance.
 			now = req.At
-			for i, b := range f.boards {
-				if err := b.svc.AdvanceTo(now); err != nil {
-					return nil, fmt.Errorf("cluster: board %d: %w", i, err)
-				}
+			if err := f.advanceAll(now, workers, errs); err != nil {
+				return nil, err
 			}
 		}
 		if f.health != nil {
@@ -332,7 +433,7 @@ func (f *Fleet) Serve(tr workload.Trace) (*FleetStats, error) {
 			}
 		}
 		stats.Arrivals++
-		f.buildViews(views, req, now, active)
+		f.buildViews(views, now, active)
 		admitted, err := f.route(views, req, stats)
 		if err != nil {
 			return nil, err
@@ -343,16 +444,22 @@ func (f *Fleet) Serve(tr workload.Trace) (*FleetStats, error) {
 	}
 
 	stats.PeakActive, stats.FinalActive = peak, active
-	for i, b := range f.boards {
-		st, err := b.svc.Drain()
+	drained := make([]hll.ServiceStats, len(f.boards))
+	workpool.Run(len(f.boards), workers, func(i int) {
+		drained[i], errs[i] = f.boards[i].svc.Drain()
+	})
+	f.flushCompletions()
+	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: board %d: %w", i, err)
 		}
+	}
+	for i, b := range f.boards {
 		stats.Boards = append(stats.Boards, BoardStats{
 			Index:    i,
 			Platform: b.profile.Name,
 			Assigned: b.assigned,
-			Stats:    st,
+			Stats:    drained[i],
 		})
 	}
 	if f.scaler != nil {
@@ -363,33 +470,29 @@ func (f *Fleet) Serve(tr workload.Trace) (*FleetStats, error) {
 	return stats, nil
 }
 
-// buildViews refreshes the router's per-board snapshot for one arrival.
+// buildViews refreshes the dynamic fields of the router's per-board
+// snapshot for one arrival (the invariant fields are set once in Serve).
 // With a chaos layer the health verdicts fold in, with one relaxation: when
 // outlier ejection (Degraded) would leave no eligible board but some board
 // is still up, the ejections are lifted for this pick — ejection is
 // advisory, refusal is not, and shedding the whole fleet because every
 // survivor is momentarily suspect would turn a partial fault into a total
 // outage.
-func (f *Fleet) buildViews(views []BoardView, req workload.Request, now sim.Duration, active int) {
+func (f *Fleet) buildViews(views []BoardView, now sim.Duration, active int) {
 	anyEligible, anyUp := false, false
 	for i, b := range f.boards {
-		views[i] = BoardView{
-			Index:       i,
-			Active:      i < active,
-			HasRP:       b.hasRP[req.RP],
-			Outstanding: b.svc.Outstanding(),
-			Queued:      b.svc.Queued(),
-			Assigned:    b.assigned,
-			Weight:      b.weight,
-		}
+		v := &views[i]
+		v.Active = i < active
+		v.Outstanding = b.svc.Outstanding()
+		v.Queued = b.svc.Queued()
 		if f.health != nil {
-			views[i].Down = f.health.down[i]
-			views[i].Degraded = f.health.degraded(i, now, views[i].Outstanding)
+			v.Down = f.health.down[i]
+			v.Degraded = f.health.degraded(i, now, v.Outstanding)
 		}
-		if eligible(views[i]) {
+		if eligible(*v) {
 			anyEligible = true
 		}
-		if views[i].Active && views[i].HasRP && !views[i].Down {
+		if v.Active && v.HasRP && !v.Down {
 			anyUp = true
 		}
 	}

@@ -274,6 +274,10 @@ func (f *Fleet) route(views []BoardView, req workload.Request, stats *FleetStats
 		if admitted && f.health != nil && f.cfg.Chaos.Hedge && req.Deadline > 0 {
 			f.hedge(views, pick, req, stats)
 		}
+		// The persistent view learns the assignment only after any hedge
+		// pick, which must see the arrival-instant snapshot (the order the
+		// per-arrival rebuild used to establish).
+		views[pick].Assigned = b.assigned
 		return admitted, nil
 	}
 }
@@ -297,6 +301,7 @@ func (f *Fleet) hedge(views []BoardView, primary int, req workload.Request, stat
 	}
 	if admitted, err := b.svc.Offer(req); err == nil && admitted {
 		b.assigned++
+		views[pick].Assigned = b.assigned
 		stats.Hedged++
 	}
 }

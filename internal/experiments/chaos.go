@@ -132,6 +132,7 @@ func chaosShard(ctx context.Context, env *Env, shard int) (*Report, error) {
 		Seed:    env.Cfg.Seed,
 		FreqMHz: serveFreqMHz,
 		Router:  router,
+		Workers: env.Cfg.FleetWorkers,
 		// The scaler's job here is repair, not capacity: it starts one short
 		// of full and must re-activate the spare when a crash empties a slot.
 		Autoscaler: &cluster.AutoscalerConfig{

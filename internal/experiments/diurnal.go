@@ -191,6 +191,7 @@ func diurnalShard(ctx context.Context, env *Env, shard int) (*Report, error) {
 		Seed:    env.Cfg.Seed,
 		FreqMHz: serveFreqMHz,
 		Router:  cluster.LeastOutstanding(),
+		Workers: env.Cfg.FleetWorkers,
 		Autoscaler: &cluster.AutoscalerConfig{
 			Window: diurnalHour,
 			Min:    1,

@@ -145,6 +145,7 @@ func scalePoint(cfg Config, comp fleetComposition, size int, auto bool) (*cluste
 		Seed:    cfg.Seed,
 		FreqMHz: serveFreqMHz,
 		Router:  router,
+		Workers: cfg.FleetWorkers,
 		Service: cluster.ServiceTemplate{
 			QueueCap: serveQueueCap,
 			Prewarm:  satASPs,
@@ -344,6 +345,7 @@ func routeShard(ctx context.Context, env *Env, shard int) (*Report, error) {
 		Seed:    env.Cfg.Seed,
 		FreqMHz: serveFreqMHz,
 		Router:  router,
+		Workers: env.Cfg.FleetWorkers,
 		Service: cluster.ServiceTemplate{
 			QueueCap: serveQueueCap,
 			// Cold, constrained caches: five images per board against the

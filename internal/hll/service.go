@@ -39,6 +39,12 @@ type ServiceConfig struct {
 	// UpsetSeed seeds the configuration-memory upset injector RaiseCRCUpset
 	// draws from (0 keeps a fixed default stream).
 	UpsetSeed uint64
+	// SketchQuantiles switches the latency samples (queue wait, service,
+	// sojourn) to the memory-bounded sketch backend (sim.Sample.UseSketch)
+	// — O(sketch size) memory however long the stream runs, quantiles
+	// within the sketch's relative error bound. The default keeps the
+	// exact backend and its byte-identical historical output.
+	SketchQuantiles bool
 }
 
 // TenantStats is one traffic source's view of a service run. Every offered
@@ -117,6 +123,10 @@ type Service struct {
 
 	stats ServiceStats
 	done  int
+	// queued mirrors the summed per-RP queue depth, maintained at the
+	// admission/dispatch/crash sites so Queued (a per-arrival router
+	// signal) is O(1) instead of a walk over the queue map.
+	queued int
 
 	// crashed marks the board dead: it refuses offers and dispatches
 	// nothing until Recover. epoch invalidates in-flight completion events
@@ -160,6 +170,11 @@ func NewService(ctrl *core.Controller, cfg ServiceConfig) *Service {
 	}
 	s.stats.Tenants = make(map[string]*TenantStats)
 	s.stats.Classes = make(map[string]*TenantStats)
+	if cfg.SketchQuantiles {
+		s.stats.QueueWaitUS.UseSketch()
+		s.stats.ServiceUS.UseSketch()
+		s.stats.SojournUS.UseSketch()
+	}
 	for _, name := range s.eng.order {
 		s.queues[name] = sched.NewQueue(cfg.QueueCap)
 	}
@@ -302,6 +317,7 @@ func (s *Service) admit(req workload.Request, start sim.Time) {
 	}
 	if s.queues[req.RP].Offer(it) {
 		s.stats.Admitted++
+		s.queued++
 	} else {
 		s.stats.Shed++
 		t.Shed++
@@ -352,7 +368,9 @@ func (s *Service) dispatchOne(now sim.Time) (bool, error) {
 		if !cands[pick].Resident {
 			continue
 		}
-		if err := s.serveItem(s.queues[name].Remove(pick), st, now); err != nil {
+		it := s.queues[name].Remove(pick)
+		s.queued--
+		if err := s.serveItem(it, st, now); err != nil {
 			return served, err
 		}
 		served = true
@@ -379,6 +397,7 @@ func (s *Service) dispatchOne(now sim.Time) (bool, error) {
 	}
 	pick := s.policy.Pick(cands)
 	it := s.queues[slots[pick].rp].Remove(slots[pick].qi)
+	s.queued--
 	if err := s.serveItem(it, s.eng.rps[slots[pick].rp], now); err != nil {
 		return served, err
 	}
@@ -567,14 +586,10 @@ func (s *Service) RPNames() []string { return append([]string(nil), s.eng.order.
 // join-shortest-queue signal a fleet router balances on.
 func (s *Service) Outstanding() int { return s.stats.Offered - s.done }
 
-// Queued reports the total number of requests waiting in the per-RP queues.
-func (s *Service) Queued() int {
-	n := 0
-	for _, name := range s.eng.order {
-		n += s.queues[name].Len()
-	}
-	return n
-}
+// Queued reports the total number of requests waiting in the per-RP queues
+// (O(1): maintained at the admission, dispatch and crash sites — a fleet
+// router reads this per board per arrival).
+func (s *Service) Queued() int { return s.queued }
 
 // Done reports the requests that reached a terminal state (completed, shed,
 // CRC-failed or lost) — the progress counter a fleet health check watches.
@@ -614,6 +629,7 @@ func (s *Service) Crash() {
 		q := s.queues[name]
 		for q.Len() > 0 {
 			it := q.Remove(0)
+			s.queued--
 			s.tenant(it.Tenant).Failed++
 			if c := s.class(it.Class); c != nil {
 				c.Failed++
@@ -741,6 +757,31 @@ func (s *Service) AdvanceTo(rel sim.Duration) error {
 		}
 		k.RunUntil(wake)
 	}
+}
+
+// SkipTo is AdvanceTo's idle fast path for the fleet's epoch loop: with
+// nothing queued, dispatchOne is a pure no-op (phase 1 skips empty queues,
+// phase 2 has no candidates, and nothing can enqueue mid-advance), so
+// AdvanceTo's dispatch loop collapses to a single RunUntil(target). The
+// kernel still fires every event on the way — meter samples, thermal steps,
+// in-flight completions — exactly as AdvanceTo would; what SkipTo skips is
+// the per-wake dispatch scaffolding (candidate scans, busy-slot walks), not
+// simulated work. It returns true when it advanced the board (caller skips
+// AdvanceTo), false when queued work needs the real loop. The clock must
+// move on a skip — deferring it would leave later dispatches running at a
+// stale now and change the output.
+func (s *Service) SkipTo(rel sim.Duration) bool {
+	if !s.started || s.finished {
+		return false // let AdvanceTo surface the session error
+	}
+	if s.queued > 0 {
+		return false
+	}
+	k := s.eng.ctrl.Platform().Kernel
+	if target := s.start.Add(rel); k.Now() < target {
+		k.RunUntil(target)
+	}
+	return true
 }
 
 // Drain serves everything still outstanding, closes the measurement window

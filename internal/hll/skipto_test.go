@@ -1,0 +1,104 @@
+package hll
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestSessionSkipToMatchesAdvanceTo drives the same stream twice — once
+// through AdvanceTo alone, once preferring the SkipTo fast path exactly as
+// the fleet's epoch loop does — and requires identical statistics. The
+// low-rate trace guarantees idle gaps, so the fast path genuinely fires.
+func TestSessionSkipToMatchesAdvanceTo(t *testing.T) {
+	cfg := ServiceConfig{CacheBudgetBytes: -1}
+	tr := mustTrace(t)(workload.OpenPoisson(5, 24, 120,
+		[]string{"RP1", "RP2"}, []string{"fir128", "sha3"}))
+	drive := func(skip bool) ServiceStats {
+		c := newServiceController(t)
+		s := NewService(c, cfg)
+		if err := s.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		now := sim.Duration(-1)
+		skips := 0
+		for _, req := range tr {
+			if req.At > now {
+				now = req.At
+				if skip && s.SkipTo(now) {
+					skips++
+				} else if err := s.AdvanceTo(now); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := s.Offer(req); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st, err := s.Drain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if skip && skips == 0 {
+			t.Error("low-rate trace never took the fast path — the test lost its bite")
+		}
+		return st
+	}
+	plain, fast := drive(false), drive(true)
+	if !reflect.DeepEqual(plain, fast) {
+		t.Errorf("SkipTo-driven stats diverge from AdvanceTo:\n%+v\nvs\n%+v", plain, fast)
+	}
+}
+
+// TestSessionSkipToGuards pins the fast path's refusal conditions and the
+// O(1) queue counter it relies on: no skip outside a session, no skip past
+// queued work, and the clock must actually move on a successful skip.
+func TestSessionSkipToGuards(t *testing.T) {
+	c := newServiceController(t)
+	s := NewService(c, ServiceConfig{CacheBudgetBytes: -1})
+	if s.SkipTo(sim.Millisecond) {
+		t.Error("SkipTo must refuse before Begin so AdvanceTo surfaces the error")
+	}
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Queued() != 0 {
+		t.Fatalf("fresh session queued = %d, want 0", s.Queued())
+	}
+
+	k := c.Platform().Kernel
+	start := k.Now()
+	if !s.SkipTo(5 * sim.Millisecond) {
+		t.Fatal("idle board must take the fast path")
+	}
+	if got := k.Now(); got != start.Add(5*sim.Millisecond) {
+		t.Errorf("skip left the clock at %v, want start+5ms", got)
+	}
+	if !s.SkipTo(sim.Millisecond) {
+		t.Error("already-passed target must be a trivial skip")
+	}
+	if got := k.Now(); got != start.Add(5*sim.Millisecond) {
+		t.Errorf("past-target skip moved the clock to %v", got)
+	}
+
+	if _, err := s.Offer(workload.Request{At: 5 * sim.Millisecond, RP: "RP1", ASP: "fir128"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Queued() != 1 {
+		t.Errorf("queued = %d after Offer, want 1 (dispatch waits for AdvanceTo)", s.Queued())
+	}
+	if s.SkipTo(20 * sim.Millisecond) {
+		t.Error("SkipTo must refuse while work is queued")
+	}
+	if err := s.AdvanceTo(20 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if s.Queued() != 0 {
+		t.Errorf("queued = %d after dispatch, want 0", s.Queued())
+	}
+	if st, err := s.Drain(); err != nil || st.Completed != 1 {
+		t.Fatalf("drain: completed = %d, err = %v", st.Completed, err)
+	}
+}

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// sketchRelErr is the backend's advertised relative quantile error bound:
+// a bucket spans 2^-sketchSubBits relative width and reports its midpoint,
+// so the estimate sits within half a bucket of the true value.
+const sketchRelErr = 1.0 / (2 << sketchSubBits)
+
+// TestSketchQuantileErrorBound drives both backends with the same skewed
+// stream (exponential mixture, the shape of the service-layer latency
+// samples) and checks every interior quantile estimate lands within the
+// sketch's relative error bound of the exact nearest-rank answer.
+func TestSketchQuantileErrorBound(t *testing.T) {
+	rng := NewRNG(99)
+	var exact, sk Sample
+	sk.UseSketch()
+	for i := 0; i < 20000; i++ {
+		v := 120 * rng.ExpFloat64() // µs-scale body
+		if rng.Bool(0.05) {
+			v += 8000 * rng.ExpFloat64() // heavy tail
+		}
+		exact.Add(v)
+		sk.Add(v)
+	}
+	for _, q := range []float64{0.10, 0.25, 0.50, 0.90, 0.95, 0.99, 0.999} {
+		want := exact.Quantile(q)
+		got := sk.Quantile(q)
+		if rel := math.Abs(got-want) / want; rel > sketchRelErr {
+			t.Errorf("q=%.3f: sketch %.4f vs exact %.4f (rel err %.4f > bound %.4f)",
+				q, got, want, rel, sketchRelErr)
+		}
+	}
+	// The extremes and moments are exact in both backends.
+	if sk.Min() != exact.Min() || sk.Max() != exact.Max() {
+		t.Errorf("sketch min/max (%v, %v) ≠ exact (%v, %v)", sk.Min(), sk.Max(), exact.Min(), exact.Max())
+	}
+	if sk.N() != exact.N() {
+		t.Errorf("sketch n = %d, exact n = %d", sk.N(), exact.N())
+	}
+	if d := math.Abs(sk.Mean() - exact.Mean()); d > 1e-6*exact.Mean() {
+		t.Errorf("sketch mean %v drifted from exact %v", sk.Mean(), exact.Mean())
+	}
+	if d := math.Abs(sk.StdDev() - exact.StdDev()); d > 1e-4*exact.StdDev() {
+		t.Errorf("sketch stddev %v drifted from exact %v", sk.StdDev(), exact.StdDev())
+	}
+	if q0, q1 := sk.Quantile(0), sk.Quantile(1); q0 != exact.Min() || q1 != exact.Max() {
+		t.Errorf("sketch extreme quantiles (%v, %v) must report exact min/max", q0, q1)
+	}
+}
+
+// TestSketchMemoryBounded pins the O(sketch size) claim: however many
+// observations arrive, the sketch backend stores nothing per value — the
+// exact backend's slice stays released and the counts array stays at its
+// fixed size.
+func TestSketchMemoryBounded(t *testing.T) {
+	var s Sample
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i))
+	}
+	s.UseSketch()
+	if s.values != nil {
+		t.Fatal("UseSketch must release the exact backend's value slice")
+	}
+	for i := 0; i < 200000; i++ {
+		s.Add(float64(i%977) + 0.5)
+	}
+	if s.values != nil {
+		t.Error("sketch-mode Add grew the per-value slice")
+	}
+	if got := len(s.sk.counts); got != sketchBuckets {
+		t.Errorf("counts array = %d buckets, want the fixed %d", got, sketchBuckets)
+	}
+	if s.N() != 200100 {
+		t.Errorf("n = %d, want 200100", s.N())
+	}
+}
+
+// TestSketchUseSketchFoldsAndIsIdempotent checks switching mid-stream folds
+// the recorded values in and a second switch is a no-op.
+func TestSketchUseSketchFoldsAndIsIdempotent(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{1, 2, 3, 4, 100} {
+		s.Add(v)
+	}
+	s.UseSketch()
+	if !s.Sketched() {
+		t.Fatal("Sketched() = false after UseSketch")
+	}
+	if s.N() != 5 || s.Min() != 1 || s.Max() != 100 {
+		t.Errorf("fold lost observations: n=%d min=%v max=%v", s.N(), s.Min(), s.Max())
+	}
+	before := s.sk
+	s.UseSketch()
+	if s.sk != before {
+		t.Error("second UseSketch rebuilt the sketch")
+	}
+}
+
+// TestSketchMergeCrossMode pins the documented promotion semantics: merging
+// a sketch-backed sample into an exact one promotes the receiver to sketch
+// mode; merging exact into sketch folds the values in; sketch-into-sketch
+// sums integer counts so the merged quantiles are order-independent.
+func TestSketchMergeCrossMode(t *testing.T) {
+	// exact ← sketch: promotion.
+	var exact, sketched Sample
+	exact.Add(1)
+	exact.Add(2)
+	sketched.UseSketch()
+	sketched.Add(10)
+	sketched.Add(20)
+	exact.Merge(&sketched)
+	if !exact.Sketched() {
+		t.Fatal("merging a sketch into an exact sample must promote the receiver")
+	}
+	if exact.N() != 4 || exact.Min() != 1 || exact.Max() != 20 {
+		t.Errorf("promoted merge: n=%d min=%v max=%v, want 4/1/20", exact.N(), exact.Min(), exact.Max())
+	}
+
+	// sketch ← exact: values fold into the buckets.
+	var sk2, plain Sample
+	sk2.UseSketch()
+	sk2.Add(5)
+	plain.Add(7)
+	plain.Add(9)
+	sk2.Merge(&plain)
+	if sk2.N() != 3 || sk2.Max() != 9 {
+		t.Errorf("sketch←exact merge: n=%d max=%v, want 3/9", sk2.N(), sk2.Max())
+	}
+	if plain.Sketched() {
+		t.Error("merge source must not be promoted")
+	}
+
+	// sketch ← sketch, both fold orders: identical counts, identical
+	// quantiles (the board-index-order merge claim).
+	rng := NewRNG(7)
+	parts := make([]*Sample, 4)
+	for i := range parts {
+		parts[i] = &Sample{}
+		parts[i].UseSketch()
+		for j := 0; j < 500; j++ {
+			parts[i].Add(50 * rng.ExpFloat64())
+		}
+	}
+	var fwd, rev Sample
+	fwd.UseSketch()
+	rev.UseSketch()
+	for i := range parts {
+		fwd.Merge(parts[i])
+		rev.Merge(parts[len(parts)-1-i])
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if a, b := fwd.Quantile(q), rev.Quantile(q); a != b {
+			t.Errorf("q=%.2f: merge order changed the sketch quantile (%v vs %v)", q, a, b)
+		}
+	}
+	if fwd.N() != rev.N() || fwd.Min() != rev.Min() || fwd.Max() != rev.Max() {
+		t.Error("merge order changed the sketch counts or extremes")
+	}
+}
+
+// TestSketchZeroAndNegativeValues ranks non-positive observations below
+// every positive bucket (queue waits can be exactly zero).
+func TestSketchZeroAndNegativeValues(t *testing.T) {
+	var s Sample
+	s.UseSketch()
+	for i := 0; i < 10; i++ {
+		s.Add(0)
+	}
+	for i := 0; i < 10; i++ {
+		s.Add(100)
+	}
+	if got := s.Quantile(0.25); got != 0 {
+		t.Errorf("p25 = %v, want 0 (zeros rank first)", got)
+	}
+	if got := s.Quantile(0.99); math.Abs(got-100)/100 > sketchRelErr {
+		t.Errorf("p99 = %v, want ≈100", got)
+	}
+	if s.Min() != 0 || s.Max() != 100 {
+		t.Errorf("min/max = %v/%v, want 0/100", s.Min(), s.Max())
+	}
+}
+
+// TestSketchIndexValueRoundTrip checks every bucket's representative value
+// maps back to its own bucket, across the whole covered range — the
+// consistency sketchValue's midpoint claim rests on.
+func TestSketchIndexValueRoundTrip(t *testing.T) {
+	for idx := 0; idx < sketchBuckets; idx++ {
+		v := sketchValue(idx)
+		if got := sketchIndex(v); got != idx {
+			t.Fatalf("bucket %d: representative %g maps to bucket %d", idx, v, got)
+		}
+	}
+	// Out-of-range values clamp into the end buckets instead of panicking.
+	if got := sketchIndex(math.Ldexp(1, sketchMinExp-5)); got != 0 {
+		t.Errorf("tiny value → bucket %d, want 0", got)
+	}
+	if got := sketchIndex(math.Ldexp(1, sketchMaxExp+5)); got != sketchBuckets-1 {
+		t.Errorf("huge value → bucket %d, want %d", got, sketchBuckets-1)
+	}
+}

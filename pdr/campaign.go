@@ -81,6 +81,7 @@ type campaignConfig struct {
 	chaosGlitches   int
 	traceFile       string
 	scaler          string
+	fleetWorkers    int
 }
 
 // WithCampaignSeed fixes the deterministic seed (default 42, the suite's
@@ -168,6 +169,20 @@ func WithScalerPolicy(policy ScalerPolicy) CampaignOption {
 	return func(c *campaignConfig) { c.scaler = string(policy) }
 }
 
+// WithFleetWorkers bounds the goroutines each fleet scenario's per-epoch
+// board advance fans out over, inside one campaign unit (it composes with
+// WithWorkers, which parallelises across units). n ≤ 0 means one per
+// available CPU. Purely a wall-clock knob: fleet output is byte-identical
+// at every setting.
+func WithFleetWorkers(n int) CampaignOption {
+	return func(c *campaignConfig) {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		c.fleetWorkers = n
+	}
+}
+
 // Campaign runs a set of registered scenarios, sharded across a pool of
 // workers. Every shard is a pure function of the campaign configuration
 // and runs on its own freshly booted System, and shard reports merge by
@@ -245,6 +260,7 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 		ChaosGlitches:   c.cfg.chaosGlitches,
 		TraceFile:       c.cfg.traceFile,
 		Scaler:          c.cfg.scaler,
+		FleetWorkers:    c.cfg.fleetWorkers,
 	}
 	if err := c.cfg.variant.apply(&ecfg); err != nil {
 		return nil, err

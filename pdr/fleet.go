@@ -2,6 +2,7 @@ package pdr
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/chaos"
 	"repro/internal/cluster"
@@ -98,6 +99,17 @@ type FleetOptions struct {
 	// (default, frame-addressed rewrite) or "reload" (full partial
 	// reconfiguration).
 	Repair string
+	// Workers bounds the goroutines the fleet's per-epoch board advance
+	// (and final drain) fans out over: 0 or 1 runs the historical
+	// sequential loop, < 0 means one worker per available CPU. Purely a
+	// wall-clock knob — Serve's output is byte-identical at every setting.
+	Workers int
+	// SketchQuantiles switches every board's latency samples to the
+	// memory-bounded sketch backend: O(sketch size) memory however long
+	// the horizon, at the cost of quantiles becoming estimates within the
+	// sketch's ~1.6 % relative error bound (moments and min/max stay
+	// exact). Default false keeps the exact backend bit for bit.
+	SketchQuantiles bool
 }
 
 // Fleet is the multi-board counterpart of System: N simulated boards
@@ -181,6 +193,10 @@ func (f *Fleet) build() (*cluster.Fleet, error) {
 			return nil, fmt.Errorf("pdr: %w", err)
 		}
 	}
+	workers := o.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	budget := o.CacheBudgetBytes // cluster shares the System.Serve semantics
 	cf, err := cluster.New(cluster.FleetConfig{
 		Boards:     specs,
@@ -189,12 +205,14 @@ func (f *Fleet) build() (*cluster.Fleet, error) {
 		Router:     router,
 		Autoscaler: o.Autoscale,
 		Chaos:      o.Chaos,
+		Workers:    workers,
 		Service: cluster.ServiceTemplate{
 			Policy:           o.Policy,
 			CacheBudgetBytes: budget,
 			QueueCap:         o.QueueCap,
 			Prewarm:          o.Prewarm,
 			Repair:           o.Repair,
+			SketchQuantiles:  o.SketchQuantiles,
 		},
 	})
 	if err != nil {
