@@ -13,6 +13,7 @@ import (
 	"repro/internal/bitstream"
 	"repro/internal/experiments"
 	"repro/internal/fabric"
+	"repro/internal/plan"
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -423,6 +424,68 @@ func BenchmarkDiurnal(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPlanSurrogate measures the planner's tier A: closed-form
+// scoring of the full default candidate space. The candidates/sec metric
+// is the rate that lets the search evaluate thousands of configurations
+// before spending a single fleet simulation.
+func BenchmarkPlanSurrogate(b *testing.B) {
+	cands := pdr.PlanSpace{}.Enumerate()
+	w := pdr.PlanWorkload{Seed: 42, RatePerSec: 2200, Requests: 192, ASPs: plan.DefaultASPs(), Deadline: 20 * sim.Millisecond}
+	slo := pdr.PlanSLO{P99: 12 * sim.Millisecond, MaxShed: 0.01}
+	sur := plan.NewSurrogate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cands {
+			if _, err := sur.Score(c, w, slo); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	if perOp > 0 {
+		b.ReportMetric(float64(len(cands))/(perOp/1e9), "candidates/s")
+	}
+}
+
+// BenchmarkPlanSearch measures the end-to-end two-tier plan search (the
+// E17 question) cold and with a warm memo cache: the warm run answers from
+// cached simulations, so the gap is tier B's entire simulation cost.
+func BenchmarkPlanSearch(b *testing.B) {
+	opts := pdr.PlanOptions{
+		Workload: pdr.PlanWorkload{Seed: 42 ^ 0xE17, RatePerSec: 2200, Requests: 192, Deadline: 20 * sim.Millisecond},
+		Workers:  4,
+	}
+	run := func(b *testing.B, memo *pdr.PlanMemo) *pdr.PlanResult {
+		o := opts
+		o.Memo = memo
+		res, err := pdr.Plan(context.Background(), o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	b.Run("memo=cold", func(b *testing.B) {
+		var res *pdr.PlanResult
+		for i := 0; i < b.N; i++ {
+			res = run(b, pdr.NewPlanMemo())
+		}
+		b.ReportMetric(float64(res.CandidatesScored), "scored")
+		b.ReportMetric(float64(res.SimsRun), "sims")
+	})
+	b.Run("memo=warm", func(b *testing.B) {
+		memo := pdr.NewPlanMemo()
+		run(b, memo) // prime outside the timed loop
+		b.ResetTimer()
+		var res *pdr.PlanResult
+		for i := 0; i < b.N; i++ {
+			res = run(b, memo)
+		}
+		b.ReportMetric(float64(res.MemoHits), "memo-hits")
+		b.ReportMetric(float64(res.SimsRun), "sims")
+	})
 }
 
 // --- substrate micro-benchmarks ---

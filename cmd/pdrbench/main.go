@@ -21,6 +21,10 @@
 //	pdrbench -run E16 -trace-out day.json   # persist the E16 arrival stream
 //	pdrbench -run E16 -trace-in day.json    # replay a recorded stream
 //	pdrbench -run E16 -scaler predictive    # one autoscaler policy only
+//	pdrbench -run E17 -plan-workers 4       # fan the planner's verifying
+//	                              # simulations out (output is byte-identical)
+//	pdrbench -run E17 -plan-rate 2800 -plan-p99 10 -plan-shed 0.005
+//	                              # re-plan for another load/SLO point
 //	pdrbench -json                # machine-readable reports
 //	pdrbench -md > EXPERIMENTS.md # regenerate the committed artefact file
 //	pdrbench -csv out/            # also write figure series as CSV files
@@ -41,6 +45,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/sim"
 	"repro/pdr"
 )
 
@@ -62,6 +67,10 @@ type options struct {
 	traceIn         string
 	traceOut        string
 	scaler          string
+	planWorkers     int
+	planRate        float64
+	planP99         float64
+	planShed        float64
 }
 
 func main() {
@@ -83,6 +92,10 @@ func main() {
 	flag.StringVar(&opts.traceIn, "trace-in", "", "replay the E16 arrival stream from a versioned trace file")
 	flag.StringVar(&opts.traceOut, "trace-out", "", "write the E16 arrival stream to a versioned trace file")
 	flag.StringVar(&opts.scaler, "scaler", "", "restrict E16 to one autoscaler policy (reactive|predictive)")
+	flag.IntVar(&opts.planWorkers, "plan-workers", 1, "goroutines for the E17 planner's verifying simulations (0 = one per CPU; output is byte-identical)")
+	flag.Float64Var(&opts.planRate, "plan-rate", 0, "offered load in req/s the E17 planner plans for (0 = 2200)")
+	flag.Float64Var(&opts.planP99, "plan-p99", 0, "E17 SLO: p99 sojourn bound in ms (0 = 12)")
+	flag.Float64Var(&opts.planShed, "plan-shed", 0, "E17 SLO: maximum shed fraction (0 = 0.01)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -145,6 +158,21 @@ func realMain(ctx context.Context, w io.Writer, opts options) error {
 	}
 	if opts.traceIn != "" {
 		copts = append(copts, pdr.WithTraceFile(opts.traceIn))
+	}
+	if opts.planWorkers != 1 {
+		copts = append(copts, pdr.WithPlanWorkers(opts.planWorkers))
+	}
+	if opts.planRate != 0 {
+		if opts.planRate < 0 {
+			return fmt.Errorf("invalid -plan-rate %g (want a positive rate)", opts.planRate)
+		}
+		copts = append(copts, pdr.WithPlanRate(opts.planRate))
+	}
+	if opts.planP99 != 0 || opts.planShed != 0 {
+		if opts.planP99 < 0 || opts.planShed < 0 {
+			return fmt.Errorf("invalid SLO -plan-p99 %g / -plan-shed %g (want positive values)", opts.planP99, opts.planShed)
+		}
+		copts = append(copts, pdr.WithSLO(sim.Duration(opts.planP99*float64(sim.Millisecond)), opts.planShed))
 	}
 	if opts.scaler != "" {
 		valid := false

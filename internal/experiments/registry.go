@@ -275,6 +275,12 @@ func init() {
 		Merge:   diurnalMerge,
 	})
 	Register(Scenario{
+		ID:      "E17",
+		Title:   planTitle,
+		Aliases: []string{"plan"},
+		Run:     planShard,
+	})
+	Register(Scenario{
 		ID:      "A1",
 		Title:   "CRC read-back overhead on the foreground transfer",
 		Aliases: []string{"crc"},

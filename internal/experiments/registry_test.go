@@ -10,7 +10,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "A1", "A2", "A3", "A4", "A5"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "A1", "A2", "A3", "A4", "A5"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d scenarios, want %d: %v", len(got), len(want), got)
@@ -42,7 +42,7 @@ func TestShardPlanFixed(t *testing.T) {
 	// shard per dispatch policy.
 	// E13: 2 compositions × (4 sizes + the autoscaled point); E14 and E15:
 	// one shard per routing policy; E16: one shard per scaler policy.
-	plans := map[string]int{"E1": 1, "E2": 3, "E3": 7, "E4": 4, "E9": 4, "E10": 3, "E11": 9, "E12": 3, "E13": 10, "E14": 4, "E15": 4, "E16": 2, "A5": 1}
+	plans := map[string]int{"E1": 1, "E2": 3, "E3": 7, "E4": 4, "E9": 4, "E10": 3, "E11": 9, "E12": 3, "E13": 10, "E14": 4, "E15": 4, "E16": 2, "E17": 1, "A5": 1}
 	for id, want := range plans {
 		s, ok := Lookup(id)
 		if !ok {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
@@ -71,6 +72,19 @@ func TableII(env *Env) (*Report, error) {
 	best := 0.0
 	bestF := 0.0
 	for i, pt := range points {
+		// The rendered MB/J comes from the quantized meter reading at the
+		// live die temperature; the model-side reciprocal (EnergyPerMB, the
+		// consolidated Table II math the planner also uses) must agree with
+		// it to within the measurement chain's error, or the two Table II
+		// formulations have drifted apart.
+		if pt.ThroughputMBs > 0 {
+			metered := pt.PDRWatts / pt.ThroughputMBs
+			model := env.Platform.Power.EnergyPerMB(pt.FreqMHz, pt.TempC, pt.ThroughputMBs)
+			if model <= 0 || math.Abs(metered-model)/model > 0.03 {
+				return nil, fmt.Errorf("experiments: Table II drift at %.0f MHz: metered %.4f J/MB vs model %.4f J/MB",
+					pt.FreqMHz, metered, model)
+			}
+		}
 		rep.Rows = append(rep.Rows, []string{
 			mhz(pt.FreqMHz), f2(pt.PDRWatts), f2(pt.ThroughputMBs), f0(pt.PpW), f0(paperdata.TableII[i].PpWMBperJ),
 		})

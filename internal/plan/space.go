@@ -1,0 +1,109 @@
+package plan
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/platform"
+)
+
+// Space parameterises the candidate enumeration. The zero value of any
+// field falls back to the default axis, so callers override selectively.
+type Space struct {
+	// Cycles lists the composition build rules: board i of a size-k fleet
+	// runs cycle[i % len(cycle)]. Nil = every distinct registered board
+	// homogeneously, plus one mixed cycle over all of them.
+	Cycles [][]string
+	// MaxBoards bounds the fleet-size axis 1…MaxBoards (0 = 8).
+	MaxBoards int
+	// Freqs is the operating-frequency axis (nil = the Table II grid).
+	Freqs []float64
+	// Routers is the routing-policy axis (nil = every built-in).
+	Routers []string
+	// CacheImages is the per-board cache-budget axis (nil = {0, 4, 8, 12}:
+	// the profile budget plus the E12 pressure points).
+	CacheImages []int
+}
+
+// Enumerate expands the space into candidates in a fixed deterministic
+// order: composition-major, then size, frequency, router, cache budget.
+func (sp Space) Enumerate() []Candidate {
+	cycles := sp.Cycles
+	if cycles == nil {
+		var mixed []string
+		for _, prof := range platform.Boards() {
+			cycles = append(cycles, []string{prof.Name})
+			mixed = append(mixed, prof.Name)
+		}
+		if len(mixed) > 1 {
+			cycles = append(cycles, mixed)
+		}
+	}
+	maxBoards := sp.MaxBoards
+	if maxBoards <= 0 {
+		maxBoards = 8
+	}
+	freqs := sp.Freqs
+	if freqs == nil {
+		freqs = []float64{100, 140, 180, 200, 240, 280}
+	}
+	routers := sp.Routers
+	if routers == nil {
+		routers = cluster.RouterNames()
+	}
+	caches := sp.CacheImages
+	if caches == nil {
+		caches = []int{0, 4, 8, 12}
+	}
+	var out []Candidate
+	for _, cycle := range cycles {
+		for size := 1; size <= maxBoards; size++ {
+			boards := make([]cluster.BoardSpec, size)
+			for i := range boards {
+				boards[i] = cluster.BoardSpec{Platform: cycle[i%len(cycle)]}
+			}
+			for _, f := range freqs {
+				for _, router := range routers {
+					for _, cache := range caches {
+						out = append(out, Candidate{
+							Boards:      boards,
+							FreqMHz:     f,
+							Router:      router,
+							CacheImages: cache,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// dominates reports whether prediction a is at least as good as b on every
+// objective (watts, p99, shed) and strictly better on one.
+func dominates(a, b Prediction) bool {
+	if a.Watts > b.Watts || a.P99US > b.P99US || a.Shed > b.Shed {
+		return false
+	}
+	return a.Watts < b.Watts || a.P99US < b.P99US || a.Shed < b.Shed
+}
+
+// Frontier returns the indices of the Pareto-optimal predictions — minimal
+// over (watts, p99, shed) — in input order. Ties (mutually non-dominating
+// equals) all stay on the frontier.
+func Frontier(preds []Prediction) []int {
+	var out []int
+	for i, p := range preds {
+		dominated := false
+		for j, q := range preds {
+			if j != i && dominates(q, p) {
+				// Exact duplicates never dominate each other (strictness),
+				// but a strictly better point removes i.
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}

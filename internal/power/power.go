@@ -127,6 +127,17 @@ func PerformancePerWatt(throughputMBs, pdrWatts float64) float64 {
 	return throughputMBs / pdrWatts
 }
 
+// EnergyPerMB returns the configuration energy cost in J/MB at an explicit
+// operating point: P_PDR(f,T) over the transfer throughput — the reciprocal
+// of Table II's MB/J efficiency, evaluated from the model coefficients
+// rather than a metered reading. Non-positive throughput returns 0.
+func (m *Model) EnergyPerMB(freqMHz, tempC, throughputMBs float64) float64 {
+	if throughputMBs <= 0 {
+		return 0
+	}
+	return m.PDRAt(freqMHz, tempC) / throughputMBs
+}
+
 // Meter models the ZedBoard current-sense measurement chain: a shunt on the
 // 12 V rail read by a bench meter with 10 mW effective resolution, plus a
 // simulated-time energy integrator.

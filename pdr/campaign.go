@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/platform"
+	"repro/internal/sim"
 	"repro/internal/workpool"
 )
 
@@ -82,6 +83,10 @@ type campaignConfig struct {
 	traceFile       string
 	scaler          string
 	fleetWorkers    int
+	planWorkers     int
+	planRate        float64
+	planP99MS       float64
+	planShed        float64
 }
 
 // WithCampaignSeed fixes the deterministic seed (default 42, the suite's
@@ -183,6 +188,39 @@ func WithFleetWorkers(n int) CampaignOption {
 	}
 }
 
+// WithPlanWorkers bounds the goroutines the planner scenario's (E17)
+// tier-B verifying simulations fan out over. n ≤ 0 means one per available
+// CPU. Purely a wall-clock knob: the search result is byte-identical at
+// every setting.
+func WithPlanWorkers(n int) CampaignOption {
+	return func(c *campaignConfig) {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		c.planWorkers = n
+	}
+}
+
+// WithPlanRate overrides the offered load (requests/s) the planner
+// scenario (E17) plans for (default 2200).
+func WithPlanRate(ratePerSec float64) CampaignOption {
+	return func(c *campaignConfig) { c.planRate = ratePerSec }
+}
+
+// WithSLO overrides the planner scenario's (E17) objective: the p99
+// sojourn bound and the maximum tolerable shed fraction. A zero (or
+// negative) value keeps that component's default (p99 ≤ 12 ms, shed ≤ 1%).
+func WithSLO(p99 sim.Duration, maxShed float64) CampaignOption {
+	return func(c *campaignConfig) {
+		if p99 > 0 {
+			c.planP99MS = float64(p99) / float64(sim.Millisecond)
+		}
+		if maxShed > 0 {
+			c.planShed = maxShed
+		}
+	}
+}
+
 // Campaign runs a set of registered scenarios, sharded across a pool of
 // workers. Every shard is a pure function of the campaign configuration
 // and runs on its own freshly booted System, and shard reports merge by
@@ -261,6 +299,10 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 		TraceFile:       c.cfg.traceFile,
 		Scaler:          c.cfg.scaler,
 		FleetWorkers:    c.cfg.fleetWorkers,
+		PlanWorkers:     c.cfg.planWorkers,
+		PlanRate:        c.cfg.planRate,
+		PlanP99MS:       c.cfg.planP99MS,
+		PlanShed:        c.cfg.planShed,
 	}
 	if err := c.cfg.variant.apply(&ecfg); err != nil {
 		return nil, err
