@@ -601,6 +601,53 @@ func BenchmarkKernelEvents(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceOverhead measures the observability layer's cost on the
+// fleet serve path (the same path BenchmarkFleetSweep exercises): "off"
+// is the nil-tracer run — the disabled path must stay within 1 % of the
+// pre-observability wall clock and add zero allocations per emission
+// site (TestDisabledPathZeroAlloc pins the alloc half of that contract)
+// — and "on" attaches a full tracer collecting spans, events, and the
+// 1 ms metric grid. The simulated outputs are byte-identical either way;
+// only wall clock and memory move. Recorded in BENCH_obs.json.
+func BenchmarkTraceOverhead(b *testing.B) {
+	for _, traced := range []bool{false, true} {
+		name := "off"
+		if traced {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var tracer *pdr.Tracer
+			if traced {
+				tracer = pdr.NewTracer()
+			}
+			f, err := pdr.NewFleet(pdr.FleetOptions{
+				Boards:  []string{"zedboard", "zedboard", "zedboard"},
+				Seed:    42,
+				Router:  "least-outstanding",
+				Prewarm: []string{"fir128", "sha3", "aes-gcm", "fft1k"},
+				Tracer:  tracer,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			stream, err := f.OpenTrace(pdr.ArrivalSpec{
+				RatePerSec: 900,
+				Deadline:   20 * sim.Millisecond,
+			}, 7, 192, []string{"fir128", "sha3", "aes-gcm", "fft1k"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Serve(stream); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblation_Contention (A4): reconfiguration throughput under
 // competing accelerator memory traffic.
 func BenchmarkAblation_Contention(b *testing.B) {

@@ -25,6 +25,14 @@
 //	                              # simulations out (output is byte-identical)
 //	pdrbench -run E17 -plan-rate 2800 -plan-p99 10 -plan-shed 0.005
 //	                              # re-plan for another load/SLO point
+//	pdrbench -run E13 -trace-events e13.json  # export request spans and
+//	                              # control-plane events as Chrome trace-
+//	                              # event JSON (Perfetto-loadable; bytes
+//	                              # are identical at any -fleet-workers)
+//	pdrbench -run E13 -metrics-out m.json     # sim-time metric series
+//	                              # (queue depths, watts, shed; .csv for CSV)
+//	pdrbench -pprof localhost:6060            # wall-clock pprof endpoints
+//	                              # for the run's duration
 //	pdrbench -json                # machine-readable reports
 //	pdrbench -md > EXPERIMENTS.md # regenerate the committed artefact file
 //	pdrbench -csv out/            # also write figure series as CSV files
@@ -38,11 +46,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/sim"
@@ -71,6 +83,9 @@ type options struct {
 	planRate        float64
 	planP99         float64
 	planShed        float64
+	traceEvents     string
+	metricsOut      string
+	pprofAddr       string
 }
 
 func main() {
@@ -96,6 +111,9 @@ func main() {
 	flag.Float64Var(&opts.planRate, "plan-rate", 0, "offered load in req/s the E17 planner plans for (0 = 2200)")
 	flag.Float64Var(&opts.planP99, "plan-p99", 0, "E17 SLO: p99 sojourn bound in ms (0 = 12)")
 	flag.Float64Var(&opts.planShed, "plan-shed", 0, "E17 SLO: maximum shed fraction (0 = 0.01)")
+	flag.StringVar(&opts.traceEvents, "trace-events", "", "write the run's spans and events as Chrome trace-event JSON (load in Perfetto / chrome://tracing)")
+	flag.StringVar(&opts.metricsOut, "metrics-out", "", "write the run's sim-time metric series (.csv = CSV, otherwise canonical JSON)")
+	flag.StringVar(&opts.pprofAddr, "pprof", "", "serve wall-clock profiling at this address (e.g. localhost:6060) for the run's duration")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -194,6 +212,24 @@ func realMain(ctx context.Context, w io.Writer, opts options) error {
 		// The notice goes to stderr so -json/-md stdout stays parseable.
 		fmt.Fprintf(os.Stderr, "wrote %s\n", opts.traceOut)
 	}
+	var tracer *pdr.Tracer
+	if opts.traceEvents != "" || opts.metricsOut != "" {
+		tracer = pdr.NewTracer()
+		copts = append(copts, pdr.WithTracer(tracer))
+	}
+	if opts.pprofAddr != "" {
+		// Listen synchronously so a bad address fails the run, then serve
+		// for the run's duration. The pprof endpoints profile wall-clock
+		// behaviour (scheduling, allocation) — the simulated clock has its
+		// own deterministic exports above.
+		ln, err := net.Listen("tcp", opts.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("-pprof: %w", err)
+		}
+		defer ln.Close()
+		go func() { _ = http.Serve(ln, nil) }()
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", ln.Addr())
+	}
 	if opts.run != "" && opts.run != "all" {
 		var ids []string
 		for _, id := range strings.Split(opts.run, ",") {
@@ -242,7 +278,53 @@ func realMain(ctx context.Context, w io.Writer, opts options) error {
 			}
 		}
 	}
+	if opts.traceEvents != "" {
+		if err := os.WriteFile(opts.traceEvents, tracer.Chrome(), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", opts.traceEvents)
+	}
+	if opts.metricsOut != "" {
+		data := tracer.MetricsCSV()
+		if !strings.HasSuffix(opts.metricsOut, ".csv") {
+			var err error
+			if data, err = tracer.MetricsJSON(); err != nil {
+				return err
+			}
+		}
+		if err := os.WriteFile(opts.metricsOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", opts.metricsOut)
+	}
+	// The run summary — wall clock and simulation volume per scenario, and
+	// the campaign pool's utilization — goes to stderr: it is profiling
+	// telemetry, deliberately kept out of the deterministic stdout that
+	// -json/-md consumers and the CI byte-diffs read.
+	writeSummary(os.Stderr, res)
 	return nil
+}
+
+// writeSummary renders the per-scenario cost table and the worker pool's
+// wall-clock utilization. Sim events are deterministic (a pure function of
+// the configuration); wall-clock columns are measurements and vary run to
+// run.
+func writeSummary(w io.Writer, res *pdr.CampaignResult) {
+	fmt.Fprintf(w, "\n%-5s %14s %12s\n", "ID", "sim events", "wall [ms]")
+	var events uint64
+	var wall float64
+	for _, rep := range res.Reports {
+		fmt.Fprintf(w, "%-5s %14d %12.1f\n", rep.ID, rep.SimEvents, rep.WallMS)
+		events += rep.SimEvents
+		wall += rep.WallMS
+	}
+	fmt.Fprintf(w, "%-5s %14d %12.1f  (%d units on %d workers, %.1f ms elapsed)\n",
+		"total", events, wall, res.Units, res.Workers,
+		float64(res.Elapsed)/float64(time.Millisecond))
+	for i, wc := range res.Pool {
+		fmt.Fprintf(w, "worker %d: %d units, %.1f ms busy\n",
+			i, wc.Tasks, float64(wc.Busy)/float64(time.Millisecond))
+	}
 }
 
 // writeTraceOut persists the E16 arrival stream as a versioned trace file:

@@ -29,6 +29,7 @@ import (
 	"repro/internal/bitstream"
 	"repro/internal/core"
 	"repro/internal/hll"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -97,6 +98,16 @@ type FleetConfig struct {
 	// out over (≤ 1 = the historical single-goroutine loop). Output is
 	// byte-identical at every setting; only wall clock changes.
 	Workers int
+	// Trace, when non-nil, records the run's deterministic span/event
+	// stream and sim-time metrics (see internal/obs): per-board buffers
+	// are written only by that board's goroutine during the parallel
+	// advance and exported in board-index order, so the trace bytes are
+	// independent of Workers. Nil keeps tracing disabled at zero cost.
+	Trace *obs.FleetTrace
+	// Pool, when non-nil, accumulates the epoch fan-out's per-worker
+	// wall-clock utilization (see workpool.Counters). Profiling only —
+	// wall-clock tallies never feed the deterministic outputs.
+	Pool *workpool.Counters
 	// Service is the per-board service template.
 	Service ServiceTemplate
 }
@@ -132,8 +143,9 @@ type Fleet struct {
 	boards []*board
 	router Router
 	scaler *autoscaler
-	health *health  // nil without a Chaos config
-	common []string // RP names every board serves, in board-0 order
+	health *health   // nil without a Chaos config
+	obs    *fleetObs // nil without a Trace
+	common []string  // RP names every board serves, in board-0 order
 	served bool
 }
 
@@ -214,6 +226,9 @@ func New(cfg FleetConfig) (*Fleet, error) {
 		}
 		f.boards = append(f.boards, b)
 	}
+	if cfg.Trace != nil {
+		f.obs = newFleetObs(cfg.Trace, f.boards)
+	}
 	return f, nil
 }
 
@@ -286,6 +301,10 @@ func newBoard(cfg FleetConfig, spec BoardSpec, index int) (*board, error) {
 	for _, rp := range svc.RPNames() {
 		b.hasRP[rp] = true
 	}
+	if cfg.Trace != nil {
+		svc.SetTracer(cfg.Trace.Board(index))
+		cfg.Trace.Bind(index, prof.Name, svc.RPNames())
+	}
 	return b, nil
 }
 
@@ -321,7 +340,7 @@ func (f *Fleet) workers() int {
 // with nothing queued take the SkipTo fast path — one RunUntil instead of
 // the dispatch loop's per-wake scaffolding.
 func (f *Fleet) advanceAll(now sim.Duration, workers int, errs []error) error {
-	workpool.Run(len(f.boards), workers, func(i int) {
+	workpool.RunCounted(len(f.boards), workers, f.cfg.Pool, func(i int) {
 		b := f.boards[i]
 		if b.svc.SkipTo(now) {
 			return
@@ -405,15 +424,26 @@ func (f *Fleet) Serve(tr workload.Trace) (*FleetStats, error) {
 	for i, b := range f.boards {
 		views[i] = BoardView{Index: i, HasRP: true, Weight: b.weight}
 	}
+	batch := 0
 	for _, req := range tr {
 		if req.At > now {
 			// A new epoch: every arrival sharing a timestamp routes against
 			// this one advance.
+			if f.obs != nil {
+				f.obs.epoch(req.At, batch)
+				batch = 0
+			}
 			now = req.At
 			if err := f.advanceAll(now, workers, errs); err != nil {
 				return nil, err
 			}
+			if f.obs != nil {
+				// Sample on the post-advance state: ticks due in the gap all
+				// observe it, and board state only changes at epochs.
+				f.obs.sample(f, now, active)
+			}
 		}
+		batch++
 		if f.health != nil {
 			if err := f.applyChaos(now); err != nil {
 				return nil, err
@@ -431,6 +461,9 @@ func (f *Fleet) Serve(tr workload.Trace) (*FleetStats, error) {
 			if active > peak {
 				peak = active
 			}
+			if f.obs != nil {
+				f.obs.scales(f.scaler.events)
+			}
 		}
 		stats.Arrivals++
 		f.buildViews(views, now, active)
@@ -443,9 +476,12 @@ func (f *Fleet) Serve(tr workload.Trace) (*FleetStats, error) {
 		}
 	}
 
+	if f.obs != nil {
+		f.obs.closeBatch(batch)
+	}
 	stats.PeakActive, stats.FinalActive = peak, active
 	drained := make([]hll.ServiceStats, len(f.boards))
-	workpool.Run(len(f.boards), workers, func(i int) {
+	workpool.RunCounted(len(f.boards), workers, f.cfg.Pool, func(i int) {
 		drained[i], errs[i] = f.boards[i].svc.Drain()
 	})
 	f.flushCompletions()
@@ -455,6 +491,7 @@ func (f *Fleet) Serve(tr workload.Trace) (*FleetStats, error) {
 		}
 	}
 	for i, b := range f.boards {
+		stats.KernelEvents += b.plat.Kernel.Fired()
 		stats.Boards = append(stats.Boards, BoardStats{
 			Index:    i,
 			Platform: b.profile.Name,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/chaos"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -156,6 +157,9 @@ func (f *Fleet) applyChaos(now sim.Duration) error {
 		ev := sched[h.nextEvent]
 		h.nextEvent++
 		b := f.boards[ev.Board]
+		if f.obs != nil {
+			f.obs.fault(ev)
+		}
 		switch ev.Kind {
 		case chaos.BoardDown:
 			b.svc.Crash()
@@ -210,16 +214,26 @@ func (f *Fleet) updateHealth(now sim.Duration) error {
 			if err := f.setBoardFreq(b, b.profile.Clock.NominalMHz); err != nil {
 				return fmt.Errorf("cluster: board %d throttle: %w", i, err)
 			}
+			if f.obs != nil {
+				f.obs.throttle(now, i, true, t)
+			}
 		case h.throttled[i] && t < h.cfg.throttleC()-throttleHystC:
 			h.throttled[i] = false
 			if err := f.setBoardFreq(b, f.cfg.FreqMHz); err != nil {
 				return fmt.Errorf("cluster: board %d unthrottle: %w", i, err)
 			}
+			if f.obs != nil {
+				f.obs.throttle(now, i, false, t)
+			}
 		}
 	}
 	for now >= h.nextProbe {
 		for i, b := range f.boards {
+			was := h.down[i]
 			h.down[i] = b.svc.Crashed()
+			if f.obs != nil && was != h.down[i] {
+				f.obs.probe(now, i, h.down[i])
+			}
 		}
 		h.nextProbe += h.cfg.probeEvery()
 	}
@@ -246,6 +260,9 @@ func (f *Fleet) route(views []BoardView, req workload.Request, stats *FleetStats
 		pick := f.router.Pick(views, req)
 		if pick == -1 {
 			stats.Unroutable++
+			if f.obs != nil {
+				f.obs.routeEvent(obs.EvUnroutable, req.At, req.RP+" "+req.ASP)
+			}
 			return false, nil
 		}
 		if pick < 0 || pick >= len(f.boards) || !eligible(views[pick]) {
@@ -261,9 +278,15 @@ func (f *Fleet) route(views []BoardView, req workload.Request, stats *FleetStats
 			if retries < f.cfg.Chaos.maxRetries(len(f.boards)) {
 				retries++
 				stats.FailedOver++
+				if f.obs != nil {
+					f.obs.routeEvent(obs.EvFailover, req.At, fmt.Sprintf("board%d refused", pick))
+				}
 				continue
 			}
 			stats.Unroutable++
+			if f.obs != nil {
+				f.obs.routeEvent(obs.EvUnroutable, req.At, req.RP+" "+req.ASP)
+			}
 			return false, nil
 		}
 		b.assigned++
@@ -303,5 +326,8 @@ func (f *Fleet) hedge(views []BoardView, primary int, req workload.Request, stat
 		b.assigned++
 		views[pick].Assigned = b.assigned
 		stats.Hedged++
+		if f.obs != nil {
+			f.obs.routeEvent(obs.EvHedge, req.At, fmt.Sprintf("board%d", pick))
+		}
 	}
 }

@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/chaos"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// boardGauges caches one board's registered series handles so the
+// per-tick sampling loop does no map lookups.
+type boardGauges struct {
+	queued, outstanding     *obs.TimeSeries
+	cacheImages, cacheBytes *obs.TimeSeries
+	watts, tempC            *obs.TimeSeries
+}
+
+// fleetObs wires one fleet run to its obs.FleetTrace: cached gauge
+// handles, control-plane event emission, and the deterministic sampling
+// loop. Every method runs on the fleet's sequential inter-epoch path —
+// only the per-board span buffers (owned by hll.Service) are touched
+// from the parallel advance, and each by its own board's goroutine.
+type fleetObs struct {
+	ft     *obs.FleetTrace
+	boards []boardGauges
+
+	active, shed, offered *obs.TimeSeries
+	epochBatch            *obs.Hist
+	failover, unroutable  *obs.Counter
+	hedged                *obs.Counter
+
+	scaleSeen int // scaler events already exported
+}
+
+func newFleetObs(ft *obs.FleetTrace, boards []*board) *fleetObs {
+	o := &fleetObs{ft: ft}
+	m := ft.Metrics()
+	for i := range boards {
+		p := fmt.Sprintf("board%02d.", i)
+		o.boards = append(o.boards, boardGauges{
+			queued:      m.Series(p+"queued", "requests"),
+			outstanding: m.Series(p+"outstanding", "requests"),
+			cacheImages: m.Series(p+"cache_images", "images"),
+			cacheBytes:  m.Series(p+"cache_bytes", "bytes"),
+			watts:       m.Series(p+"watts", "W"),
+			tempC:       m.Series(p+"temp", "degC"),
+		})
+	}
+	o.active = m.Series("fleet.active_boards", "boards")
+	o.shed = m.Series("fleet.shed_total", "requests")
+	o.offered = m.Series("fleet.offered_total", "requests")
+	o.epochBatch = m.Hist("fleet.epoch_batch", "requests")
+	o.failover = m.Counter("fleet.failovers")
+	o.unroutable = m.Counter("fleet.unroutable")
+	o.hedged = m.Counter("fleet.hedged")
+	return o
+}
+
+// sample records every metrics tick due at or before now. The tick grid
+// is multiples of the tracer cadence, independent of epoch spacing;
+// fleet state only changes at epoch boundaries, so every tick in the
+// gap since the previous epoch observes the post-advance state — a pure
+// function of the arrival stream, never of worker count. Queue depth,
+// cache residency, and per-board watts (power.Model.PDRAt at the
+// board's live over-clock and die temperature) are all read through
+// side-effect-free accessors.
+func (o *fleetObs) sample(f *Fleet, now sim.Duration, active int) {
+	m := o.ft.Metrics()
+	for {
+		tick, ok := m.TickDue(now)
+		if !ok {
+			return
+		}
+		shed, offered := 0, 0
+		for i, b := range f.boards {
+			g := &o.boards[i]
+			g.queued.Append(tick, float64(b.svc.Queued()))
+			g.outstanding.Append(tick, float64(b.svc.Outstanding()))
+			images, bytes := b.svc.CacheResidency()
+			g.cacheImages.Append(tick, float64(images))
+			g.cacheBytes.Append(tick, float64(bytes))
+			t := b.plat.Die.TempC()
+			g.watts.Append(tick, b.plat.Power.PDRAt(b.plat.Power.FreqMHz(), t))
+			g.tempC.Append(tick, t)
+			st := b.svc.Stats()
+			shed += st.Shed
+			offered += st.Offered
+		}
+		o.active.Append(tick, float64(active))
+		o.shed.Append(tick, float64(shed))
+		o.offered.Append(tick, float64(offered))
+		m.TickDone()
+	}
+}
+
+// epoch marks the fleet advancing to a new arrival timestamp and folds
+// the previous epoch's batch size into the distribution.
+func (o *fleetObs) epoch(now sim.Duration, batch int) {
+	o.closeBatch(batch)
+	o.ft.Ctl().Event(obs.EvEpoch, obs.CtlTIDEpoch, -1, now, "")
+}
+
+// closeBatch folds the final epoch's batch size in without emitting a
+// second marker for an epoch already on the timeline.
+func (o *fleetObs) closeBatch(batch int) {
+	if batch > 0 {
+		o.epochBatch.Observe(float64(batch))
+	}
+}
+
+// scales exports autoscaler decisions appended since the last call.
+func (o *fleetObs) scales(events []ScaleEvent) {
+	for ; o.scaleSeen < len(events); o.scaleSeen++ {
+		ev := events[o.scaleSeen]
+		o.ft.Ctl().Event(obs.EvScale, obs.CtlTIDScaler, -1,
+			sim.FromMicroseconds(ev.AtUS),
+			fmt.Sprintf("%d->%d %s", ev.From, ev.To, ev.Reason))
+	}
+}
+
+// fault marks one chaos schedule entry being applied, stamped at its
+// scheduled instant.
+func (o *fleetObs) fault(ev chaos.Event) {
+	o.ft.Ctl().Event(obs.EvFault, obs.CtlTIDChaos, -1, ev.At,
+		fmt.Sprintf("board%d %s", ev.Board, ev.Kind))
+}
+
+// throttle marks a thermal throttle/unthrottle transition.
+func (o *fleetObs) throttle(now sim.Duration, board int, on bool, tempC float64) {
+	kind := obs.EvUnthrottle
+	if on {
+		kind = obs.EvThrottle
+	}
+	o.ft.Ctl().Event(kind, obs.CtlTIDHealth, -1, now,
+		fmt.Sprintf("board%d %.1fC", board, tempC))
+}
+
+// probe marks a health-probe verdict transition (ejection/readmission).
+func (o *fleetObs) probe(now sim.Duration, board int, down bool) {
+	kind := obs.EvProbeUp
+	if down {
+		kind = obs.EvProbeDown
+	}
+	o.ft.Ctl().Event(kind, obs.CtlTIDHealth, -1, now, fmt.Sprintf("board%d", board))
+}
+
+// routeEvent marks a routing outcome worth seeing on the timeline.
+func (o *fleetObs) routeEvent(kind obs.Kind, at sim.Duration, detail string) {
+	switch kind {
+	case obs.EvFailover:
+		o.failover.Add(1)
+	case obs.EvUnroutable:
+		o.unroutable.Add(1)
+	case obs.EvHedge:
+		o.hedged.Add(1)
+	}
+	o.ft.Ctl().Event(kind, obs.CtlTIDRouter, -1, at, detail)
+}

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// obsShape is the densest traced configuration: autoscaler, chaos with
+// every fault class, hedging, health probes — so the trace exercises
+// every span and event kind the fleet emits.
+func obsShape(workers int, ft *obs.FleetTrace) FleetConfig {
+	return FleetConfig{
+		Boards: zedboards(3), Seed: 42, FreqMHz: 200, Workers: workers,
+		Router: LeastOutstanding(),
+		Trace:  ft,
+		Autoscaler: &AutoscalerConfig{
+			Window: 25 * sim.Millisecond,
+			Min:    2, Max: 3,
+			ShedHi: 0.01, P99HiUS: (20 * sim.Millisecond).Microseconds(),
+			ShedLo: -1, P99LoUS: 0,
+		},
+		Chaos: &ChaosConfig{
+			Schedule: []chaos.Event{
+				{At: 20 * sim.Millisecond, Board: 1, Kind: chaos.HeatOn, TempC: 80},
+				{At: 40 * sim.Millisecond, Board: 0, Kind: chaos.BoardDown},
+				// Board 1: the autoscaler starts at Min=2 active boards, so the
+				// glitch must land on a board that has actually served (and
+				// holds a resident image) for the alarm + scrub to fire.
+				{At: 50 * sim.Millisecond, Board: 1, Kind: chaos.CRCGlitch, Frames: 2},
+				{At: 60 * sim.Millisecond, Board: 1, Kind: chaos.HeatOff},
+				{At: 80 * sim.Millisecond, Board: 0, Kind: chaos.BoardUp},
+			},
+			ProbeEvery: 20 * sim.Millisecond,
+			Hedge:      true,
+		},
+		Service: ServiceTemplate{Prewarm: testASPs, Repair: "scrub"},
+	}
+}
+
+func obsServe(t *testing.T, workers int, tracer *obs.Tracer) *FleetStats {
+	t.Helper()
+	var ft *obs.FleetTrace
+	if tracer != nil {
+		ft = tracer.Fleet("fleet/00", "obs equality")
+	}
+	f := mustFleet(t, obsShape(workers, ft))
+	spec := workload.ArrivalSpec{
+		RatePerSec: 600,
+		Skew:       1.1,
+		Deadline:   20 * sim.Millisecond,
+		Tenants:    []string{"alpha", "beta"},
+	}
+	st, err := f.Serve(mustTrace(t, spec, 17, 144, f.RPNames()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestFleetTraceWorkerEquality is the observability tentpole's equality
+// bar: the Chrome trace-event export and the metrics export must be
+// byte-identical whatever the epoch fan-out width, because spans buffer
+// per board and merge in index order at export time.
+func TestFleetTraceWorkerEquality(t *testing.T) {
+	export := func(workers int) ([]byte, []byte, *FleetStats) {
+		tr := obs.New()
+		st := obsServe(t, workers, tr)
+		mj, err := tr.MetricsJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Chrome(), mj, st
+	}
+	c1, m1, s1 := export(1)
+	for _, w := range []int{4, 8} {
+		cw, mw, sw := export(w)
+		if !bytes.Equal(c1, cw) {
+			t.Errorf("workers=%d chrome export diverges from sequential", w)
+		}
+		if !bytes.Equal(m1, mw) {
+			t.Errorf("workers=%d metrics export diverges from sequential", w)
+		}
+		if !reflect.DeepEqual(s1, sw) {
+			t.Errorf("workers=%d stats diverge from sequential", w)
+		}
+	}
+	// The storm shape must actually have produced the event classes the
+	// instrumentation claims to cover.
+	s := string(c1)
+	for _, want := range []string{
+		`"name":"queue"`, `"name":"compute"`, `"name":"reconfig"`,
+		`"name":"crash"`, `"name":"recover"`, `"name":"fault"`,
+		`"name":"probe-down"`, `"name":"probe-up"`, `"name":"epoch"`,
+		`"name":"crc-alarm"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("traced storm missing %s", want)
+		}
+	}
+	for _, want := range []string{"board00.watts", "board00.queued", "fleet.active_boards"} {
+		if !strings.Contains(string(m1), want) {
+			t.Errorf("metrics export missing %s", want)
+		}
+	}
+}
+
+// TestFleetTraceRepairSpan pins the scrub-repair span on the recipe that
+// guarantees one: a single-image stream, so every post-glitch dispatch on
+// the upset RP is a cache hit and the alarm must clear via explicit scrub.
+func TestFleetTraceRepairSpan(t *testing.T) {
+	tr := obs.New()
+	f := mustFleet(t, FleetConfig{
+		Boards:  zedboards(2),
+		Seed:    42,
+		FreqMHz: 200,
+		Router:  RoundRobin(),
+		Trace:   tr.Fleet("fleet/00", "repair"),
+		Chaos: &ChaosConfig{
+			Schedule: []chaos.Event{
+				{At: 30 * sim.Millisecond, Board: 0, Kind: chaos.CRCGlitch, Frames: 2},
+			},
+		},
+		Service: ServiceTemplate{Prewarm: []string{"fir128"}, Repair: "scrub"},
+	})
+	spec := workload.ArrivalSpec{RatePerSec: 600, Deadline: 20 * sim.Millisecond}
+	stream, err := spec.Generate(17, 96, f.RPNames(), []string{"fir128"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := f.Serve(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Aggregate.Repairs == 0 {
+		t.Fatal("recipe no longer produces a repair")
+	}
+	s := string(tr.Chrome())
+	if !strings.Contains(s, `"name":"repair"`) || !strings.Contains(s, `"detail":"scrub"`) {
+		t.Error("repair span missing from the trace")
+	}
+	if !strings.Contains(s, `"name":"crc-alarm"`) {
+		t.Error("crc-alarm instant missing from the trace")
+	}
+}
+
+// TestFleetTraceDoesNotPerturb: attaching a tracer must leave FleetStats
+// DeepEqual to the untraced run — observability reads state, never
+// advances the kernel or draws randomness.
+func TestFleetTraceDoesNotPerturb(t *testing.T) {
+	plain := obsServe(t, 1, nil)
+	traced := obsServe(t, 1, obs.New())
+	if !reflect.DeepEqual(plain, traced) {
+		t.Error("tracer changed the fleet's statistics")
+	}
+}
+
+// TestFleetTraceExportRoundTrips: a fleet-produced export survives
+// import → re-export byte for byte (the round-trip guarantee on real
+// output, not just the synthetic obs-package sample).
+func TestFleetTraceExportRoundTrips(t *testing.T) {
+	tr := obs.New()
+	obsServe(t, 4, tr)
+	chrome := tr.Chrome()
+	again, err := obs.ReexportChrome(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(chrome, again) {
+		t.Error("fleet chrome export does not round-trip")
+	}
+	mj, err := tr.MetricsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	againM, err := obs.ReexportMetrics(mj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mj, againM) {
+		t.Error("fleet metrics export does not round-trip")
+	}
+}

@@ -47,6 +47,12 @@ type FleetStats struct {
 	// another board; Hedged counts duplicate offers issued for
 	// deadline-bearing requests.
 	FailedOver, Hedged int
+
+	// KernelEvents sums the boards' fired simulation events over the whole
+	// run (sim.Kernel.Fired) — the sim-work denominator the pdrbench
+	// summary pairs with wall clock. Deterministic: a pure function of
+	// (seed, trace, config), independent of Workers.
+	KernelEvents uint64
 }
 
 // GoodputPerSec is the fleet's useful throughput: completions that met

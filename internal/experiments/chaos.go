@@ -133,6 +133,7 @@ func chaosShard(ctx context.Context, env *Env, shard int) (*Report, error) {
 		FreqMHz: serveFreqMHz,
 		Router:  router,
 		Workers: env.Cfg.FleetWorkers,
+		Trace:   obsFleet(env.Cfg, "E15", shard, router.Name()),
 		// The scaler's job here is repair, not capacity: it starts one short
 		// of full and must re-activate the spare when a crash empties a slot.
 		Autoscaler: &cluster.AutoscalerConfig{
@@ -162,7 +163,7 @@ func chaosShard(ctx context.Context, env *Env, shard int) (*Report, error) {
 		return nil, err
 	}
 	agg := st.Aggregate
-	rep := &Report{ID: "E15", Title: chaosTitle}
+	rep := &Report{ID: "E15", Title: chaosTitle, SimEvents: st.KernelEvents}
 	rep.Rows = append(rep.Rows, []string{
 		router.Name(),
 		strconv.Itoa(st.Arrivals), strconv.Itoa(agg.Completed),

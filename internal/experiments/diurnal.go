@@ -192,6 +192,7 @@ func diurnalShard(ctx context.Context, env *Env, shard int) (*Report, error) {
 		FreqMHz: serveFreqMHz,
 		Router:  cluster.LeastOutstanding(),
 		Workers: env.Cfg.FleetWorkers,
+		Trace:   obsFleet(env.Cfg, "E16", shard, policy),
 		Autoscaler: &cluster.AutoscalerConfig{
 			Window: diurnalHour,
 			Min:    1,
@@ -242,7 +243,7 @@ func diurnalShard(ctx context.Context, env *Env, shard int) (*Report, error) {
 		}
 		return 0
 	}
-	rep := &Report{ID: "E16", Title: diurnalTitle}
+	rep := &Report{ID: "E16", Title: diurnalTitle, SimEvents: st.KernelEvents}
 	rep.Rows = append(rep.Rows, []string{
 		policy,
 		strconv.Itoa(st.Arrivals), strconv.Itoa(agg.Completed), strconv.Itoa(agg.Shed),

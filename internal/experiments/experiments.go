@@ -21,6 +21,7 @@ import (
 	"repro/internal/bitstream"
 	"repro/internal/core"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -40,6 +41,15 @@ type Report struct {
 	Series []sim.Series `json:"series,omitempty"`
 	// Notes records paper-vs-measured commentary for EXPERIMENTS.md.
 	Notes []string `json:"notes,omitempty"`
+
+	// SimEvents counts the simulation events fired producing this report
+	// (board kernels for fleet scenarios, the env kernel otherwise);
+	// WallMS is the wall-clock cost of computing it. Both feed the
+	// pdrbench summary table only — excluded from the JSON encoding so
+	// report files stay byte-identical across machines, worker counts,
+	// and tracing on/off.
+	SimEvents uint64  `json:"-"`
+	WallMS    float64 `json:"-"`
 }
 
 // Render formats the report as an aligned text table. Rows may be ragged —
@@ -248,6 +258,21 @@ type Config struct {
 	// PlanShed overrides the planner's maximum shed fraction (0 = the
 	// scenario default, 1%).
 	PlanShed float64
+	// Obs, when non-nil, collects deterministic spans and sim-time metrics
+	// from the fleet scenarios (see internal/obs): each shard registers
+	// its fleet under "<scenario>/<shard>" so the export is ordered by
+	// key, not by campaign schedule. Like FleetWorkers it is not part of
+	// the scientific configuration — report output is byte-identical with
+	// or without it.
+	Obs *obs.Tracer
+}
+
+// obsFleet registers one shard's fleet with the campaign tracer (nil —
+// and therefore free — when tracing is off). The "<id>/<shard>" key
+// orders the export deterministically whatever schedule ran the shards;
+// the label names the Perfetto process group.
+func obsFleet(cfg Config, id string, shard int, label string) *obs.FleetTrace {
+	return cfg.Obs.Fleet(fmt.Sprintf("%s/%02d", id, shard), label)
 }
 
 // Env is a fresh measurement setup: platform, controller and the standard

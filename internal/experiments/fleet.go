@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -120,7 +121,7 @@ var scaleHeader = []string{
 }
 
 // scalePoint serves the composition's stream on one fleet build.
-func scalePoint(cfg Config, comp fleetComposition, size int, auto bool) (*cluster.FleetStats, error) {
+func scalePoint(cfg Config, comp fleetComposition, size int, auto bool, ft *obs.FleetTrace) (*cluster.FleetStats, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("experiments: fleet size %d out of range (WithFleetGrid wants positive sizes)", size)
 	}
@@ -146,6 +147,7 @@ func scalePoint(cfg Config, comp fleetComposition, size int, auto bool) (*cluste
 		FreqMHz: serveFreqMHz,
 		Router:  router,
 		Workers: cfg.FleetWorkers,
+		Trace:   ft,
 		Service: cluster.ServiceTemplate{
 			QueueCap: serveQueueCap,
 			Prewarm:  satASPs,
@@ -229,15 +231,16 @@ func scaleShard(ctx context.Context, env *Env, shard int) (*Report, error) {
 		size = sizes[pt]
 	}
 
-	st, err := scalePoint(env.Cfg, comp, size, auto)
-	if err != nil {
-		return nil, err
-	}
 	label := comp.name
 	if auto {
 		label += " (auto)"
 	}
-	rep := &Report{ID: "E13", Title: scaleTitle}
+	st, err := scalePoint(env.Cfg, comp, size, auto,
+		obsFleet(env.Cfg, "E13", shard, fmt.Sprintf("%s x%d", label, size)))
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "E13", Title: scaleTitle, SimEvents: st.KernelEvents}
 	rep.Rows = append(rep.Rows, scaleRow(label, boardsLabel(fleetBoards(comp, size)), fleetRouterName(env.Cfg), st))
 	if !auto {
 		good := sim.Series{Name: "e13_" + comp.name + "_goodput", XLabel: "fleet_size", YLabel: "goodput_req_per_s"}
@@ -346,6 +349,7 @@ func routeShard(ctx context.Context, env *Env, shard int) (*Report, error) {
 		FreqMHz: serveFreqMHz,
 		Router:  router,
 		Workers: env.Cfg.FleetWorkers,
+		Trace:   obsFleet(env.Cfg, "E14", shard, router.Name()),
 		Service: cluster.ServiceTemplate{
 			QueueCap: serveQueueCap,
 			// Cold, constrained caches: five images per board against the
@@ -361,7 +365,7 @@ func routeShard(ctx context.Context, env *Env, shard int) (*Report, error) {
 		return nil, err
 	}
 	agg := st.Aggregate
-	rep := &Report{ID: "E14", Title: routeTitle}
+	rep := &Report{ID: "E14", Title: routeTitle, SimEvents: st.KernelEvents}
 	rep.Rows = append(rep.Rows, []string{
 		router.Name(),
 		strconv.Itoa(agg.Offered), strconv.Itoa(agg.Completed), strconv.Itoa(agg.Shed),

@@ -119,6 +119,11 @@ func planShard(ctx context.Context, env *Env, _ int) (*Report, error) {
 	}
 
 	rep := &Report{ID: "E17", Title: planTitle, Header: planHeader}
+	for _, v := range res.Verified {
+		if !v.Memoized && v.Stats != nil {
+			rep.SimEvents += v.Stats.KernelEvents
+		}
+	}
 	role := func(v *plan.Verified) string {
 		tags := ""
 		add := func(match *plan.Verified, tag string) {

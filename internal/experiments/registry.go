@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Scenario is one registered, discoverable experiment. A scenario is a pure
@@ -102,6 +103,7 @@ func KeyList() string { return strings.Join(IDs(), "|") }
 func RunSequential(ctx context.Context, s Scenario, cfg Config) (*Report, error) {
 	n := s.Shards(cfg)
 	parts := make([]*Report, n)
+	t0 := time.Now()
 	for k := 0; k < n; k++ {
 		env, err := NewEnvWith(s.EnvConfig(cfg, k))
 		if err != nil {
@@ -110,11 +112,22 @@ func RunSequential(ctx context.Context, s Scenario, cfg Config) (*Report, error)
 		if parts[k], err = s.Run(ctx, env, k); err != nil {
 			return nil, err
 		}
+		// Shards that run on their own simulators (fleet boards) set
+		// SimEvents themselves; the env kernel covers the rest.
+		parts[k].SimEvents += env.Platform.Kernel.Fired()
 	}
-	if s.Merge == nil {
-		return parts[0], nil
+	rep := parts[0]
+	if s.Merge != nil {
+		var err error
+		if rep, err = s.Merge(cfg, parts); err != nil {
+			return nil, err
+		}
+		for _, p := range parts {
+			rep.SimEvents += p.SimEvents
+		}
 	}
-	return s.Merge(cfg, parts)
+	rep.WallMS = float64(time.Since(t0)) / float64(time.Millisecond)
+	return rep, nil
 }
 
 // EnvConfig returns the configuration a given shard's Env must be built

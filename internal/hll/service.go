@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/scrub"
 	"repro/internal/sim"
@@ -154,6 +155,13 @@ type Service struct {
 	// instant relative to the session start, sojourn the arrival→completion
 	// latency. The fleet layer uses it for windowed autoscaling metrics.
 	onComplete func(rel, sojourn sim.Duration)
+
+	// tr, when set, records this session's spans and events (session-
+	// relative sim time). Every emission site is guarded by a nil check so
+	// the disabled path costs one branch and zero allocations. tids maps
+	// RP name → trace track.
+	tr   *obs.BoardTrace
+	tids map[string]int32
 }
 
 // NewService builds the service on a platform-backed controller.
@@ -315,7 +323,8 @@ func (s *Service) admit(req workload.Request, start sim.Time) {
 	if c != nil {
 		c.Offered++
 	}
-	if s.queues[req.RP].Offer(it) {
+	q := s.queues[req.RP]
+	if q.Offer(it) {
 		s.stats.Admitted++
 		s.queued++
 	} else {
@@ -325,6 +334,10 @@ func (s *Service) admit(req workload.Request, start sim.Time) {
 			c.Shed++
 		}
 		s.done++
+		if s.tr != nil {
+			s.tr.Event(obs.EvShed, obs.TIDLifecycle, int32(it.Seq), req.At,
+				fmt.Sprintf("%s %s q=%d/%d", req.RP, req.ASP, q.Len(), q.Cap()))
+		}
 	}
 }
 
@@ -418,6 +431,9 @@ func (s *Service) serveItem(it *sched.Item, st *rpState, now sim.Time) error {
 	s.stats.Requests++
 	s.stats.QueueWaitUS.Add(now.Sub(it.At).Microseconds())
 	dispatch := now
+	if s.tr != nil {
+		s.tr.Span(obs.SpanQueue, s.tids[it.RP], int32(it.Seq), s.rel(it.At), now.Sub(it.At), asp.Name)
+	}
 
 	if st.resident != asp.Name {
 		// The single physical ICAP arbitrates reconfigurations: wait out
@@ -425,17 +441,37 @@ func (s *Service) serveItem(it *sched.Item, st *rpState, now sim.Time) error {
 		if bu := p.ICAP.BusyUntil(); bu > k.Now() {
 			k.RunUntil(bu)
 		}
+		if s.tr != nil {
+			kind := obs.EvCacheMiss
+			if s.eng.cache.Contains(asp.Name + "@" + st.region.Name) {
+				kind = obs.EvCacheHit
+			}
+			s.tr.Event(kind, obs.TIDICAP, int32(it.Seq), s.rel(k.Now()), asp.Name)
+		}
+		t0 := k.Now()
 		bs, err := s.eng.acquire(asp, st) // may stage from backing store
 		if err != nil {
 			return err
 		}
+		if s.tr != nil {
+			if d := k.Now().Sub(t0); d > 0 {
+				s.tr.Span(obs.SpanStage, obs.TIDICAP, int32(it.Seq), s.rel(t0), d, asp.Name)
+			}
+		}
+		x0 := k.Now()
 		ok, err := s.eng.loadASP(&s.stats.Stats, st, asp, bs)
 		if err != nil {
 			return err
 		}
+		if s.tr != nil {
+			s.tr.Span(obs.SpanXfer, obs.TIDICAP, int32(it.Seq), s.rel(x0), k.Now().Sub(x0), asp.Name)
+		}
 		if !ok {
 			// CRC rejected the image: the request is dropped (visible in
 			// Failures and the tenant's Failed), the partition left empty.
+			if s.tr != nil {
+				s.tr.Event(obs.EvCRCFail, obs.TIDICAP, int32(it.Seq), s.rel(k.Now()), asp.Name)
+			}
 			s.tenant(it.Tenant).Failed++
 			if c := s.class(it.Class); c != nil {
 				c.Failed++
@@ -448,8 +484,16 @@ func (s *Service) serveItem(it *sched.Item, st *rpState, now sim.Time) error {
 		if st.alarm {
 			// The CRC monitor flagged the resident image; repair before the
 			// accelerator runs on corrupted configuration.
+			r0 := k.Now()
 			if err := s.repair(st, asp); err != nil {
 				return err
+			}
+			if s.tr != nil {
+				mode := "scrub"
+				if s.cfg.Repair == "reload" {
+					mode = "reload"
+				}
+				s.tr.Span(obs.SpanRepair, obs.TIDICAP, int32(it.Seq), s.rel(r0), k.Now().Sub(r0), mode)
 			}
 			if st.resident != asp.Name {
 				// A reload repair failed verification: dropped like any
@@ -489,11 +533,19 @@ func (s *Service) serveItem(it *sched.Item, st *rpState, now sim.Time) error {
 		if c != nil {
 			c.Completed++
 		}
+		if s.tr != nil {
+			s.tr.Span(obs.SpanCompute, s.tids[st.region.Name], int32(it.Seq),
+				end.Sub(s.start)-asp.ComputeTime, asp.ComputeTime, asp.Name)
+		}
 		if it.Deadline > 0 && end > it.Deadline {
 			s.stats.DeadlineMisses++
 			t.DeadlineMisses++
 			if c != nil {
 				c.DeadlineMisses++
+			}
+			if s.tr != nil {
+				s.tr.Event(obs.EvDeadlineMiss, s.tids[st.region.Name], int32(it.Seq),
+					end.Sub(s.start), asp.Name)
 			}
 		}
 		if s.onComplete != nil {
@@ -578,6 +630,24 @@ func (s *Service) repair(st *rpState, asp workload.ASP) error {
 // must be set before Begin or Serve.
 func (s *Service) SetOnComplete(fn func(rel, sojourn sim.Duration)) { s.onComplete = fn }
 
+// SetTracer installs the buffer this session's spans and events are
+// recorded into (see internal/obs). It must be set before Begin or
+// Serve; nil (or no call) keeps tracing disabled at zero cost. Record
+// times are session-relative, anchored at Begin — prewarm staging runs
+// before the anchor and is deliberately never traced.
+func (s *Service) SetTracer(tr *obs.BoardTrace) {
+	s.tr = tr
+	if tr != nil && s.tids == nil {
+		s.tids = make(map[string]int32, len(s.eng.order))
+		for i, name := range s.eng.order {
+			s.tids[name] = obs.TIDRPBase + int32(i)
+		}
+	}
+}
+
+// rel converts an absolute kernel instant to session-relative time.
+func (s *Service) rel(t sim.Time) sim.Duration { return t.Sub(s.start) }
+
 // RPNames lists this board's partitions in platform order.
 func (s *Service) RPNames() []string { return append([]string(nil), s.eng.order...) }
 
@@ -595,6 +665,12 @@ func (s *Service) Queued() int { return s.queued }
 // CRC-failed or lost) — the progress counter a fleet health check watches.
 func (s *Service) Done() int { return s.done }
 
+// CacheResidency reports the live bitstream-cache occupancy (resident
+// images and bytes) — the residency gauges the metrics layer samples.
+func (s *Service) CacheResidency() (images int, bytes int64) {
+	return s.eng.cache.Len(), s.eng.cache.Stats().ResidentBytes
+}
+
 // Crashed reports whether the board is down (refusing offers).
 func (s *Service) Crashed() bool { return s.crashed }
 
@@ -610,6 +686,10 @@ func (s *Service) Crash() {
 	}
 	s.crashed = true
 	s.epoch++ // orphan every scheduled completion
+	if s.tr != nil {
+		s.tr.Event(obs.EvCrash, obs.TIDLifecycle, -1,
+			s.rel(s.eng.ctrl.Platform().Kernel.Now()), "")
+	}
 	for _, name := range s.eng.order {
 		st := s.eng.rps[name]
 		if st.inflight != nil {
@@ -644,7 +724,13 @@ func (s *Service) Crash() {
 // Recover brings a crashed board back: empty partitions, cold cache — the
 // reboot state. The session stays open; the board resumes serving whatever
 // the front-end routes to it next.
-func (s *Service) Recover() { s.crashed = false }
+func (s *Service) Recover() {
+	if s.tr != nil && s.crashed && s.started && !s.finished {
+		s.tr.Event(obs.EvRecover, obs.TIDLifecycle, -1,
+			s.rel(s.eng.ctrl.Platform().Kernel.Now()), "")
+	}
+	s.crashed = false
+}
 
 // RaiseCRCUpset models configuration-memory corruption on a live board: it
 // flips bits in n distinct frames of the first partition with a resident
@@ -673,6 +759,10 @@ func (s *Service) RaiseCRCUpset(n int) (bool, error) {
 		st.suspect = append(st.suspect, hit...)
 		st.alarm = true
 		s.stats.CRCAlarms++
+		if s.tr != nil && s.started && !s.finished {
+			s.tr.Event(obs.EvCRCAlarm, s.tids[name], -1,
+				s.rel(s.eng.ctrl.Platform().Kernel.Now()), name)
+		}
 		return true, nil
 	}
 	return false, nil

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Chrome trace-event export. The emitted document loads directly in
+// Perfetto (ui.perfetto.dev) or chrome://tracing: each fleet is a
+// process, each board a process, and tracks (lifecycle, the ICAP port,
+// one per RP) are threads. Timestamps are sim-time microseconds with
+// picosecond fractions rendered as exact decimals ("%d.%06d"), so the
+// export is a pure function of the record stream — no floats are
+// formatted by value — and an import→re-export round-trip reproduces
+// the bytes exactly.
+
+// chromeEvent is one line of the canonical export.
+type chromeEvent struct {
+	ph        string
+	pid       int
+	tid       int
+	hasTS     bool
+	tsPS      int64
+	hasDur    bool
+	durPS     int64
+	scope     string // "t" for instants
+	name      string
+	argName   string // metadata payload (process_name/thread_name)
+	hasSeq    bool
+	argSeq    int64
+	argDetail string
+}
+
+// psToUS renders picoseconds as exact decimal microseconds.
+func psToUS(ps int64) string {
+	neg := ps < 0
+	if neg {
+		ps = -ps
+	}
+	s := fmt.Sprintf("%d.%06d", ps/1_000_000, ps%1_000_000)
+	if neg {
+		return "-" + s
+	}
+	return s
+}
+
+// usToPS parses the value back. Chrome ts values stay far below 2^53
+// microseconds, so the float64 round-trip is lossless.
+func usToPS(us float64) int64 { return int64(math.Round(us * 1e6)) }
+
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+func (e chromeEvent) render(buf *bytes.Buffer) {
+	buf.WriteString(`{"ph":`)
+	buf.WriteString(jsonString(e.ph))
+	fmt.Fprintf(buf, `,"pid":%d,"tid":%d`, e.pid, e.tid)
+	if e.hasTS {
+		buf.WriteString(`,"ts":`)
+		buf.WriteString(psToUS(e.tsPS))
+	}
+	if e.hasDur {
+		buf.WriteString(`,"dur":`)
+		buf.WriteString(psToUS(e.durPS))
+	}
+	if e.scope != "" {
+		buf.WriteString(`,"s":`)
+		buf.WriteString(jsonString(e.scope))
+	}
+	buf.WriteString(`,"name":`)
+	buf.WriteString(jsonString(e.name))
+	if e.argName != "" || e.hasSeq || e.argDetail != "" {
+		buf.WriteString(`,"args":{`)
+		first := true
+		if e.argName != "" {
+			buf.WriteString(`"name":`)
+			buf.WriteString(jsonString(e.argName))
+			first = false
+		}
+		if e.hasSeq {
+			if !first {
+				buf.WriteByte(',')
+			}
+			fmt.Fprintf(buf, `"seq":%d`, e.argSeq)
+			first = false
+		}
+		if e.argDetail != "" {
+			if !first {
+				buf.WriteByte(',')
+			}
+			buf.WriteString(`"detail":`)
+			buf.WriteString(jsonString(e.argDetail))
+		}
+		buf.WriteByte('}')
+	}
+	buf.WriteByte('}')
+}
+
+func renderEvents(events []chromeEvent) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	for i, e := range events {
+		e.render(&buf)
+		if i < len(events)-1 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('\n')
+	}
+	buf.WriteString("]}\n")
+	return buf.Bytes()
+}
+
+func metaEvent(pid, tid int, key, payload string) chromeEvent {
+	return chromeEvent{ph: "M", pid: pid, tid: tid, name: key, argName: payload}
+}
+
+func recordEvent(pid int, r Record) chromeEvent {
+	e := chromeEvent{pid: pid, tid: int(r.TID), name: r.Kind.String(), hasTS: true, tsPS: int64(r.Start)}
+	if r.Kind.IsSpan() {
+		e.ph = "X"
+		e.hasDur = true
+		e.durPS = int64(r.Dur)
+	} else {
+		e.ph = "i"
+		e.scope = "t"
+	}
+	if r.Seq >= 0 {
+		e.hasSeq = true
+		e.argSeq = int64(r.Seq)
+	}
+	e.argDetail = r.Label
+	return e
+}
+
+// pidStride spaces fleet process-ID blocks: fleet k's control plane is
+// pid k*pidStride, its boards k*pidStride+1+i.
+const pidStride = 64
+
+// Chrome exports every registered fleet as canonical Chrome trace-event
+// JSON. Fleets emit in sorted-key order and each fleet's boards in
+// index order — the same completion-merge discipline the fleet applies
+// to request completions — so the bytes are independent of worker
+// count and campaign scheduling.
+func (t *Tracer) Chrome() []byte {
+	var events []chromeEvent
+	for fk, key := range t.keys() {
+		ft := t.fleets[key]
+		base := fk * pidStride
+		label := key
+		if ft.label != "" {
+			label = key + " - " + ft.label
+		}
+		events = append(events, metaEvent(base, 0, "process_name", label))
+		for tid, name := range ctlTrackNames {
+			events = append(events, metaEvent(base, tid, "thread_name", name))
+		}
+		for _, r := range ft.ctl.Records() {
+			events = append(events, recordEvent(base, r))
+		}
+		for i, b := range ft.boards {
+			pid := base + 1 + i
+			bname := fmt.Sprintf("board%02d", i)
+			if ft.meta[i].name != "" {
+				bname += " - " + ft.meta[i].name
+			}
+			events = append(events, metaEvent(pid, 0, "process_name", bname))
+			events = append(events, metaEvent(pid, int(TIDLifecycle), "thread_name", "lifecycle"))
+			events = append(events, metaEvent(pid, int(TIDICAP), "thread_name", "icap"))
+			for j, rp := range ft.meta[i].rps {
+				events = append(events, metaEvent(pid, int(TIDRPBase)+j, "thread_name", "rp:"+rp))
+			}
+			for _, r := range b.Records() {
+				events = append(events, recordEvent(pid, r))
+			}
+		}
+	}
+	return renderEvents(events)
+}
+
+// Import-side mirror of the canonical writer.
+
+type rawArgs struct {
+	Name   *string `json:"name"`
+	Seq    *int64  `json:"seq"`
+	Detail *string `json:"detail"`
+}
+
+type rawEvent struct {
+	Ph   string   `json:"ph"`
+	Pid  int      `json:"pid"`
+	Tid  int      `json:"tid"`
+	Ts   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+	S    string   `json:"s"`
+	Name string   `json:"name"`
+	Args *rawArgs `json:"args"`
+}
+
+type chromeDoc struct {
+	DisplayTimeUnit string     `json:"displayTimeUnit"`
+	TraceEvents     []rawEvent `json:"traceEvents"`
+}
+
+// ReexportChrome parses a Chrome export and re-renders it canonically;
+// on a file this package wrote, the output reproduces the input bytes,
+// proving the export carries the full record stream losslessly.
+func ReexportChrome(data []byte) ([]byte, error) {
+	var doc chromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("obs: chrome import: %w", err)
+	}
+	events := make([]chromeEvent, 0, len(doc.TraceEvents))
+	for _, r := range doc.TraceEvents {
+		e := chromeEvent{ph: r.Ph, pid: r.Pid, tid: r.Tid, scope: r.S, name: r.Name}
+		if r.Ts != nil {
+			e.hasTS = true
+			e.tsPS = usToPS(*r.Ts)
+		}
+		if r.Dur != nil {
+			e.hasDur = true
+			e.durPS = usToPS(*r.Dur)
+		}
+		if r.Args != nil {
+			if r.Args.Name != nil {
+				e.argName = *r.Args.Name
+			}
+			if r.Args.Seq != nil {
+				e.hasSeq = true
+				e.argSeq = *r.Args.Seq
+			}
+			if r.Args.Detail != nil {
+				e.argDetail = *r.Args.Detail
+			}
+		}
+		events = append(events, e)
+	}
+	return renderEvents(events), nil
+}

@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/sim"
+)
+
+// TimeSeries is one gauge sampled on the metrics cadence. Timestamps
+// are sim-time picoseconds from the fleet's time origin.
+type TimeSeries struct {
+	Name string
+	Unit string
+	T    []sim.Duration
+	V    []float64
+}
+
+// Append records one sample. Safe on a nil receiver.
+func (s *TimeSeries) Append(t sim.Duration, v float64) {
+	if s == nil {
+		return
+	}
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Counter is a monotonic event count. Safe on a nil receiver.
+type Counter struct {
+	Name string
+	N    int64
+}
+
+// Add increments the counter. Safe on a nil receiver.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.N += d
+}
+
+// Hist is a sim.Sample-backed value distribution.
+type Hist struct {
+	Name string
+	Unit string
+	S    sim.Sample
+}
+
+// Observe records one value. Safe on a nil receiver.
+func (h *Hist) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.S.Add(v)
+}
+
+// Metrics is one fleet's registry of series, counters, and histograms.
+// Registration and sampling happen only from the fleet's sequential
+// inter-epoch code, so no locking is needed; the deterministic tick
+// grid (multiples of the cadence) makes the sampled series independent
+// of epoch spacing jitter in the arrival stream.
+type Metrics struct {
+	every sim.Duration
+	next  sim.Duration
+
+	series   []*TimeSeries
+	counters []*Counter
+	hists    []*Hist
+	sidx     map[string]int
+	cidx     map[string]int
+	hidx     map[string]int
+}
+
+func newMetrics(every sim.Duration) *Metrics {
+	if every <= 0 {
+		every = sim.Millisecond
+	}
+	return &Metrics{
+		every: every,
+		sidx:  map[string]int{},
+		cidx:  map[string]int{},
+		hidx:  map[string]int{},
+	}
+}
+
+// Series returns (registering if needed) the named gauge series.
+// Safe on a nil receiver.
+func (m *Metrics) Series(name, unit string) *TimeSeries {
+	if m == nil {
+		return nil
+	}
+	if i, ok := m.sidx[name]; ok {
+		return m.series[i]
+	}
+	s := &TimeSeries{Name: name, Unit: unit}
+	m.sidx[name] = len(m.series)
+	m.series = append(m.series, s)
+	return s
+}
+
+// Counter returns (registering if needed) the named counter.
+// Safe on a nil receiver.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	if i, ok := m.cidx[name]; ok {
+		return m.counters[i]
+	}
+	c := &Counter{Name: name}
+	m.cidx[name] = len(m.counters)
+	m.counters = append(m.counters, c)
+	return c
+}
+
+// Hist returns (registering if needed) the named histogram.
+// Safe on a nil receiver.
+func (m *Metrics) Hist(name, unit string) *Hist {
+	if m == nil {
+		return nil
+	}
+	if i, ok := m.hidx[name]; ok {
+		return m.hists[i]
+	}
+	h := &Hist{Name: name, Unit: unit}
+	m.hidx[name] = len(m.hists)
+	m.hists = append(m.hists, h)
+	return h
+}
+
+// TickDue reports the next unsampled tick at or before now. The caller
+// samples its gauges at the returned timestamp, then calls TickDone;
+// repeating until TickDue returns false catches up across epoch gaps
+// wider than the cadence. Safe on a nil receiver.
+func (m *Metrics) TickDue(now sim.Duration) (sim.Duration, bool) {
+	if m == nil || m.next > now {
+		return 0, false
+	}
+	return m.next, true
+}
+
+// TickDone advances to the next tick on the cadence grid.
+func (m *Metrics) TickDone() {
+	if m == nil {
+		return
+	}
+	m.next += m.every
+}
+
+// Canonical time-series documents. MetricsJSON / ImportMetrics /
+// re-export reproduce bytes exactly: field order is fixed by the
+// structs, fleets sort by key, and float64 round-trips losslessly
+// through encoding/json's shortest-representation encoder.
+
+type metricsDoc struct {
+	Schema int               `json:"schema"`
+	Fleets []fleetMetricsDoc `json:"fleets"`
+}
+
+type fleetMetricsDoc struct {
+	Key      string       `json:"key"`
+	Label    string       `json:"label,omitempty"`
+	Series   []seriesDoc  `json:"series,omitempty"`
+	Counters []counterDoc `json:"counters,omitempty"`
+	Hists    []histDoc    `json:"hists,omitempty"`
+}
+
+type seriesDoc struct {
+	Name   string       `json:"name"`
+	Unit   string       `json:"unit,omitempty"`
+	Points [][2]float64 `json:"points"` // [t_us, value]
+}
+
+type counterDoc struct {
+	Name string `json:"name"`
+	N    int64  `json:"n"`
+}
+
+type histDoc struct {
+	Name  string  `json:"name"`
+	Unit  string  `json:"unit,omitempty"`
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+const metricsSchema = 1
+
+func (t *Tracer) metricsDoc() metricsDoc {
+	doc := metricsDoc{Schema: metricsSchema, Fleets: []fleetMetricsDoc{}}
+	for _, key := range t.keys() {
+		ft := t.fleets[key]
+		fd := fleetMetricsDoc{Key: key, Label: ft.label}
+		if m := ft.metrics; m != nil {
+			for _, s := range m.series {
+				sd := seriesDoc{Name: s.Name, Unit: s.Unit, Points: [][2]float64{}}
+				for i := range s.T {
+					sd.Points = append(sd.Points, [2]float64{s.T[i].Microseconds(), s.V[i]})
+				}
+				fd.Series = append(fd.Series, sd)
+			}
+			sort.Slice(fd.Series, func(i, j int) bool { return fd.Series[i].Name < fd.Series[j].Name })
+			for _, c := range m.counters {
+				fd.Counters = append(fd.Counters, counterDoc{Name: c.Name, N: c.N})
+			}
+			sort.Slice(fd.Counters, func(i, j int) bool { return fd.Counters[i].Name < fd.Counters[j].Name })
+			for _, h := range m.hists {
+				hd := histDoc{Name: h.Name, Unit: h.Unit, Count: h.S.N()}
+				if hd.Count > 0 {
+					hd.Mean = h.S.Mean()
+					hd.P50 = h.S.Quantile(0.50)
+					hd.P95 = h.S.Quantile(0.95)
+					hd.P99 = h.S.Quantile(0.99)
+					hd.Max = h.S.Max()
+				}
+				fd.Hists = append(fd.Hists, hd)
+			}
+			sort.Slice(fd.Hists, func(i, j int) bool { return fd.Hists[i].Name < fd.Hists[j].Name })
+		}
+		doc.Fleets = append(doc.Fleets, fd)
+	}
+	return doc
+}
+
+// MetricsJSON exports every fleet's time series, counters, and
+// histogram summaries as a canonical JSON document: fleets sorted by
+// key, fixed field order, trailing newline.
+func (t *Tracer) MetricsJSON() ([]byte, error) {
+	return marshalMetrics(t.metricsDoc())
+}
+
+func marshalMetrics(doc metricsDoc) ([]byte, error) {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// ReexportMetrics parses a MetricsJSON document and re-encodes it
+// canonically, proving the export round-trips byte-identically.
+func ReexportMetrics(data []byte) ([]byte, error) {
+	var doc metricsDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("obs: metrics import: %w", err)
+	}
+	if doc.Schema != metricsSchema {
+		return nil, fmt.Errorf("obs: metrics schema %d unsupported (want %d)", doc.Schema, metricsSchema)
+	}
+	return marshalMetrics(doc)
+}
+
+// MetricsCSV exports every fleet's gauge series as flat CSV rows
+// (fleet,series,unit,t_us,value), fleets sorted by key.
+func (t *Tracer) MetricsCSV() []byte {
+	var buf bytes.Buffer
+	buf.WriteString("fleet,series,unit,t_us,value\n")
+	doc := t.metricsDoc()
+	for _, fd := range doc.Fleets {
+		for _, sd := range fd.Series {
+			for _, p := range sd.Points {
+				buf.WriteString(fd.Key)
+				buf.WriteByte(',')
+				buf.WriteString(sd.Name)
+				buf.WriteByte(',')
+				buf.WriteString(sd.Unit)
+				buf.WriteByte(',')
+				buf.WriteString(strconv.FormatFloat(p[0], 'f', -1, 64))
+				buf.WriteByte(',')
+				buf.WriteString(strconv.FormatFloat(p[1], 'f', -1, 64))
+				buf.WriteByte('\n')
+			}
+		}
+	}
+	return buf.Bytes()
+}

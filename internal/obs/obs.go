@@ -1,0 +1,319 @@
+// Package obs is the deterministic tracing and metrics layer.
+//
+// Everything in this package is driven by sim-time picoseconds, never
+// wall clock, so enabling observability cannot perturb a run's
+// byte-identical outputs and the exported artifacts are themselves
+// byte-identical at any fleet worker count. The design splits into
+// three parts:
+//
+//   - spans and instant events (Record), buffered per board so parallel
+//     board advances never share a buffer; the exporter concatenates
+//     boards in index order, realising PR 8's completion-merge pattern
+//     at export time instead of per epoch;
+//   - a metrics registry (Metrics) of gauges sampled on a deterministic
+//     sim-time cadence plus counters and sim.Sample-backed histograms;
+//   - exporters: Chrome trace-event JSON loadable in Perfetto
+//     (chrome.go) and canonical JSON/CSV time series (metrics.go).
+//
+// The zero-cost-when-off contract: every emission method is safe on a
+// nil receiver and returns immediately, and instrumented call sites
+// guard argument construction behind a nil check, so the disabled path
+// costs one predictable branch and zero allocations.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies a span or instant event. Export names derive from the
+// kind at export time so emission never builds strings.
+type Kind uint8
+
+const (
+	// Spans (rendered as Chrome "X" complete events).
+
+	// SpanQueue covers admission to dispatch on the request's RP track.
+	SpanQueue Kind = iota
+	// SpanCompute covers dispatch to completion on the RP track.
+	SpanCompute
+	// SpanStage covers SD→DRAM bitstream staging on the ICAP track.
+	SpanStage
+	// SpanXfer covers the ICAP reconfiguration transfer.
+	SpanXfer
+	// SpanRepair covers a scrub or reload repair on the ICAP track.
+	SpanRepair
+
+	// Board-side instants (rendered as Chrome "i" instant events).
+
+	// EvShed marks a request rejected by admission control.
+	EvShed
+	// EvCacheHit marks a dispatch that found its image resident.
+	EvCacheHit
+	// EvCacheMiss marks a dispatch that must stage its image.
+	EvCacheMiss
+	// EvCRCFail marks a reconfiguration rejected by CRC check.
+	EvCRCFail
+	// EvCRCAlarm marks an injected configuration-memory upset.
+	EvCRCAlarm
+	// EvDeadlineMiss marks a completion past its deadline.
+	EvDeadlineMiss
+	// EvCrash marks a board crash (chaos BoardDown).
+	EvCrash
+	// EvRecover marks a crashed board restarting.
+	EvRecover
+
+	// Fleet-control instants, emitted sequentially between epochs.
+
+	// EvEpoch marks the fleet advancing to a new arrival timestamp.
+	EvEpoch
+	// EvScale marks an autoscaler resize decision.
+	EvScale
+	// EvFault marks a chaos schedule entry being applied.
+	EvFault
+	// EvThrottle marks the health monitor halving a board's weight.
+	EvThrottle
+	// EvUnthrottle marks the health monitor restoring a board.
+	EvUnthrottle
+	// EvProbeDown marks a health probe ejecting a crashed board.
+	EvProbeDown
+	// EvProbeUp marks a health probe readmitting a board.
+	EvProbeUp
+	// EvFailover marks a request routed off its preferred board.
+	EvFailover
+	// EvUnroutable marks a request with no live board to take it.
+	EvUnroutable
+	// EvHedge marks a duplicate hedge dispatch.
+	EvHedge
+
+	kindCount
+)
+
+var kindNames = [kindCount]string{
+	SpanQueue:      "queue",
+	SpanCompute:    "compute",
+	SpanStage:      "stage",
+	SpanXfer:       "reconfig",
+	SpanRepair:     "repair",
+	EvShed:         "shed",
+	EvCacheHit:     "cache-hit",
+	EvCacheMiss:    "cache-miss",
+	EvCRCFail:      "crc-fail",
+	EvCRCAlarm:     "crc-alarm",
+	EvDeadlineMiss: "deadline-miss",
+	EvCrash:        "crash",
+	EvRecover:      "recover",
+	EvEpoch:        "epoch",
+	EvScale:        "scale",
+	EvFault:        "fault",
+	EvThrottle:     "throttle",
+	EvUnthrottle:   "unthrottle",
+	EvProbeDown:    "probe-down",
+	EvProbeUp:      "probe-up",
+	EvFailover:     "failover",
+	EvUnroutable:   "unroutable",
+	EvHedge:        "hedge",
+}
+
+// String returns the kind's export name.
+func (k Kind) String() string {
+	if k < kindCount {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsSpan reports whether the kind carries a duration.
+func (k Kind) IsSpan() bool { return k <= SpanRepair }
+
+// Track IDs within a board's trace. Request-level spans live on
+// per-RP tracks; ICAP staging/transfer/repair spans share the single
+// physical port's resource track, making port contention visible.
+const (
+	// TIDLifecycle carries board-level instants (crash, recover, shed).
+	TIDLifecycle int32 = 0
+	// TIDICAP is the board's single reconfiguration port.
+	TIDICAP int32 = 1
+	// TIDRPBase + i is reconfigurable partition i's track.
+	TIDRPBase int32 = 2
+)
+
+// Control-plane track IDs within a fleet's ctl trace.
+const (
+	CtlTIDRouter int32 = iota
+	CtlTIDScaler
+	CtlTIDChaos
+	CtlTIDHealth
+	CtlTIDEpoch
+	ctlTIDCount
+)
+
+var ctlTrackNames = [ctlTIDCount]string{
+	CtlTIDRouter: "router",
+	CtlTIDScaler: "autoscaler",
+	CtlTIDChaos:  "chaos",
+	CtlTIDHealth: "health",
+	CtlTIDEpoch:  "epochs",
+}
+
+// Record is one span or instant event. Times are sim-time picoseconds
+// relative to the owning service's session start (Begin), which is also
+// the fleet's time origin, so records from different boards share one
+// clock and merge without translation.
+type Record struct {
+	Kind  Kind
+	TID   int32
+	Seq   int32 // request sequence number, -1 when not request-scoped
+	Start sim.Duration
+	Dur   sim.Duration // 0 for instants
+	Label string       // free-form detail (ASP name, fault kind, ...)
+}
+
+// BoardTrace buffers one board's records. Exactly one goroutine — the
+// board's — appends during a parallel advance, so no lock is needed;
+// ordering across boards is imposed at export by board index.
+type BoardTrace struct {
+	recs []Record
+}
+
+// Span records a closed interval. Safe on a nil receiver.
+func (b *BoardTrace) Span(k Kind, tid, seq int32, start, dur sim.Duration, label string) {
+	if b == nil {
+		return
+	}
+	b.recs = append(b.recs, Record{Kind: k, TID: tid, Seq: seq, Start: start, Dur: dur, Label: label})
+}
+
+// Event records an instant. Safe on a nil receiver.
+func (b *BoardTrace) Event(k Kind, tid, seq int32, at sim.Duration, label string) {
+	if b == nil {
+		return
+	}
+	b.recs = append(b.recs, Record{Kind: k, TID: tid, Seq: seq, Start: at, Label: label})
+}
+
+// Records returns the buffered records in emission order.
+func (b *BoardTrace) Records() []Record {
+	if b == nil {
+		return nil
+	}
+	return b.recs
+}
+
+// boardMeta names a board's tracks for export.
+type boardMeta struct {
+	name string   // board display name (platform profile)
+	rps  []string // reconfigurable partition names, track order
+}
+
+// FleetTrace collects one fleet run: per-board span buffers, a
+// sequentially-written control-plane buffer, and the metrics registry.
+type FleetTrace struct {
+	label   string
+	every   sim.Duration
+	boards  []*BoardTrace
+	meta    []boardMeta
+	ctl     BoardTrace
+	metrics *Metrics
+}
+
+// Board returns board i's buffer, growing the fleet as needed. Safe on
+// a nil receiver (returns nil, which every emission method accepts).
+func (f *FleetTrace) Board(i int) *BoardTrace {
+	if f == nil {
+		return nil
+	}
+	for len(f.boards) <= i {
+		f.boards = append(f.boards, &BoardTrace{})
+		f.meta = append(f.meta, boardMeta{})
+	}
+	return f.boards[i]
+}
+
+// Bind names board i and its RP tracks for export. Safe on nil.
+func (f *FleetTrace) Bind(i int, name string, rps []string) {
+	if f == nil {
+		return
+	}
+	f.Board(i)
+	f.meta[i] = boardMeta{name: name, rps: rps}
+}
+
+// Ctl returns the control-plane buffer. Only the fleet's sequential
+// inter-epoch code may write to it. Safe on a nil receiver.
+func (f *FleetTrace) Ctl() *BoardTrace {
+	if f == nil {
+		return nil
+	}
+	return &f.ctl
+}
+
+// Metrics returns the fleet's metrics registry. Safe on a nil receiver.
+func (f *FleetTrace) Metrics() *Metrics {
+	if f == nil {
+		return nil
+	}
+	if f.metrics == nil {
+		f.metrics = newMetrics(f.every)
+	}
+	return f.metrics
+}
+
+// Tracer is the top-level collector a caller owns for one campaign or
+// serve. Each fleet run registers under a unique key; export iterates
+// keys in sorted order, so collection order (which varies with campaign
+// parallelism) never reaches the output.
+type Tracer struct {
+	// SampleEvery is the metrics sampling cadence in sim time
+	// (default 1 ms). Set before the first run registers.
+	SampleEvery sim.Duration
+
+	mu     sync.Mutex
+	fleets map[string]*FleetTrace
+}
+
+// New returns an empty tracer with the default 1 ms metrics cadence.
+func New() *Tracer { return &Tracer{SampleEvery: sim.Millisecond} }
+
+// Fleet returns (creating if needed) the trace for the given key. The
+// key orders fleets in the export; the label names the Perfetto process
+// group. Safe on a nil receiver: returns nil, and every FleetTrace
+// method accepts a nil receiver in turn.
+func (t *Tracer) Fleet(key, label string) *FleetTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.fleets == nil {
+		t.fleets = make(map[string]*FleetTrace)
+	}
+	ft, ok := t.fleets[key]
+	if !ok {
+		every := t.SampleEvery
+		if every <= 0 {
+			every = sim.Millisecond
+		}
+		ft = &FleetTrace{label: label, every: every}
+		t.fleets[key] = ft
+	}
+	return ft
+}
+
+// keys returns the registered fleet keys in sorted (export) order.
+func (t *Tracer) keys() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ks := make([]string, 0, len(t.fleets))
+	for k := range t.fleets {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// sampleTracer builds a tracer with two fleets covering every record
+// shape the exporters handle: spans with and without labels, instants
+// with and without sequence numbers, ctl records, named and anonymous
+// boards, series/counters/hists.
+func sampleTracer() *Tracer {
+	tr := New()
+	ft := tr.Fleet("E99/00", "sample fleet")
+	b0 := ft.Board(0)
+	ft.Bind(0, "zedboard", []string{"RP1", "RP2"})
+	b0.Span(SpanQueue, TIDRPBase, 0, 0, 250*sim.Microsecond, "")
+	b0.Span(SpanCompute, TIDRPBase, 0, 250*sim.Microsecond, 40*sim.Microsecond, "fir128")
+	b0.Span(SpanStage, TIDICAP, 1, 300*sim.Microsecond, 2*sim.Millisecond, "fft1k@RP2")
+	b0.Span(SpanXfer, TIDICAP, 1, 2300*sim.Microsecond, 471*sim.Microsecond+123*sim.Picosecond, "fft1k@RP2")
+	b0.Event(EvShed, TIDLifecycle, 7, sim.Millisecond, "RP1 fir128 q=32/32")
+	b0.Event(EvCacheMiss, TIDICAP, 1, 300*sim.Microsecond, "fft1k@RP2")
+	b1 := ft.Board(1) // bound late, stays anonymous
+	b1.Event(EvCrash, TIDLifecycle, -1, 5*sim.Millisecond, "")
+	ctl := ft.Ctl()
+	ctl.Event(EvEpoch, CtlTIDEpoch, -1, 0, "")
+	ctl.Event(EvScale, CtlTIDScaler, -1, 25*sim.Millisecond, "1->2 shed")
+	m := ft.Metrics()
+	qd := m.Series("board00.queued", "requests")
+	qd.Append(0, 0)
+	qd.Append(sim.Millisecond, 3)
+	m.Counter("fleet.failovers").Add(2)
+	h := m.Hist("fleet.epoch_batch", "arrivals")
+	h.Observe(1)
+	h.Observe(4)
+
+	// A second fleet keyed to sort before the first: export order must
+	// come from the keys, not registration order.
+	ft2 := tr.Fleet("E13/00", "first by key")
+	ft2.Board(0).Span(SpanRepair, TIDICAP, -1, sim.Microsecond, 9*sim.Microsecond, "scrub")
+	return tr
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	tr := sampleTracer()
+	out := tr.Chrome()
+	again, err := ReexportChrome(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, again) {
+		t.Errorf("chrome export does not round-trip:\n--- export ---\n%s\n--- re-export ---\n%s", out, again)
+	}
+	// Key ordering: E13/00 must render before E99/00.
+	s := string(out)
+	if i, j := strings.Index(s, "E13/00"), strings.Index(s, "E99/00"); i < 0 || j < 0 || i > j {
+		t.Errorf("fleets not in sorted key order (E13 at %d, E99 at %d)", i, j)
+	}
+	for _, want := range []string{
+		`"name":"reconfig"`, `"name":"shed"`, `"s":"t"`, `"seq":7`,
+		`"detail":"fft1k@RP2"`, `"name":"rp:RP2"`, `"name":"board00 - zedboard"`,
+		`"ts":2300.000000,"dur":471.000123`, `"detail":"1-\u003e2 shed"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("chrome export missing %s", want)
+		}
+	}
+	// Determinism: two exports of the same tracer are identical.
+	if !bytes.Equal(out, tr.Chrome()) {
+		t.Error("repeated Chrome export differs")
+	}
+}
+
+func TestChromeRejectsGarbage(t *testing.T) {
+	if _, err := ReexportChrome([]byte("{not json")); err == nil {
+		t.Error("malformed chrome document accepted")
+	}
+}
+
+func TestMetricsRoundTrip(t *testing.T) {
+	tr := sampleTracer()
+	out, err := tr.MetricsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReexportMetrics(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, again) {
+		t.Errorf("metrics export does not round-trip:\n--- export ---\n%s\n--- re-export ---\n%s", out, again)
+	}
+	s := string(out)
+	for _, want := range []string{`"schema": 1`, `"board00.queued"`, `"fleet.failovers"`, `"fleet.epoch_batch"`, `"p99"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("metrics export missing %s", want)
+		}
+	}
+	if bad, err := ReexportMetrics([]byte(`{"schema": 99, "fleets": []}`)); err == nil {
+		t.Errorf("future schema accepted: %s", bad)
+	}
+}
+
+func TestMetricsCSV(t *testing.T) {
+	csv := string(sampleTracer().MetricsCSV())
+	lines := strings.Split(strings.TrimSuffix(csv, "\n"), "\n")
+	if lines[0] != "fleet,series,unit,t_us,value" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	want := "E99/00,board00.queued,requests,1000,3"
+	found := false
+	for _, l := range lines[1:] {
+		if l == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("csv missing row %q in:\n%s", want, csv)
+	}
+}
+
+func TestPsToUSExactness(t *testing.T) {
+	cases := []struct {
+		ps   int64
+		want string
+	}{
+		{0, "0.000000"},
+		{1, "0.000001"},
+		{999_999, "0.999999"},
+		{1_000_000, "1.000000"},
+		{471_000_123, "471.000123"},
+		{-2_500_000, "-2.500000"},
+	}
+	for _, c := range cases {
+		if got := psToUS(c.ps); got != c.want {
+			t.Errorf("psToUS(%d) = %q, want %q", c.ps, got, c.want)
+		}
+		parsed, err := strconv.ParseFloat(psToUS(c.ps), 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", psToUS(c.ps), err)
+		}
+		if back := usToPS(parsed); back != c.ps {
+			t.Errorf("round-trip %d -> %q -> %d", c.ps, psToUS(c.ps), back)
+		}
+	}
+}
+
+// TestTickGrid pins the deterministic sampling grid: ticks are exact
+// multiples of the cadence regardless of how observation times land.
+func TestTickGrid(t *testing.T) {
+	m := newMetrics(sim.Millisecond)
+	var ticks []sim.Duration
+	for _, now := range []sim.Duration{0, 400 * sim.Microsecond, 3500 * sim.Microsecond} {
+		for {
+			at, ok := m.TickDue(now)
+			if !ok {
+				break
+			}
+			ticks = append(ticks, at)
+			m.TickDone()
+		}
+	}
+	want := []sim.Duration{0, sim.Millisecond, 2 * sim.Millisecond, 3 * sim.Millisecond}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Errorf("tick %d = %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+// TestDisabledPathZeroAlloc is the zero-cost-when-off contract: every
+// emission and registry method on the nil receivers a disabled tracer
+// hands out must allocate nothing. This is the same call pattern the
+// fleet's hot path runs per request when no tracer is attached.
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	ft := tr.Fleet("k", "l")
+	b := ft.Board(0)
+	ctl := ft.Ctl()
+	m := ft.Metrics()
+	series := m.Series("queued", "requests")
+	ctr := m.Counter("failovers")
+	h := m.Hist("batch", "arrivals")
+	allocs := testing.AllocsPerRun(1000, func() {
+		b.Span(SpanQueue, TIDRPBase, 1, 0, sim.Microsecond, "")
+		b.Event(EvShed, TIDLifecycle, -1, 0, "")
+		ctl.Event(EvEpoch, CtlTIDEpoch, -1, 0, "")
+		if _, ok := m.TickDue(0); ok {
+			m.TickDone()
+		}
+		series.Append(0, 1)
+		ctr.Add(1)
+		h.Observe(1)
+		_ = b.Records()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled tracer path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestNilSafety walks every accessor on nil receivers.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if ft := tr.Fleet("a", "b"); ft != nil {
+		t.Error("nil tracer returned a fleet")
+	}
+	var ft *FleetTrace
+	if ft.Board(3) != nil || ft.Ctl() != nil || ft.Metrics() != nil {
+		t.Error("nil fleet trace returned live handles")
+	}
+	ft.Bind(0, "x", nil)
+	var m *Metrics
+	if m.Series("s", "") != nil || m.Counter("c") != nil || m.Hist("h", "") != nil {
+		t.Error("nil metrics returned live handles")
+	}
+	if _, ok := m.TickDue(sim.Minute); ok {
+		t.Error("nil metrics reported a due tick")
+	}
+	m.TickDone()
+}
+
+// TestTracerFleetReuse: the same key returns the same trace, and the
+// cadence is captured at first registration.
+func TestTracerFleetReuse(t *testing.T) {
+	tr := New()
+	tr.SampleEvery = 5 * sim.Millisecond
+	a := tr.Fleet("x", "one")
+	if b := tr.Fleet("x", "two"); a != b {
+		t.Error("same key produced distinct fleet traces")
+	}
+	if a.every != 5*sim.Millisecond {
+		t.Errorf("fleet cadence = %v, want 5ms", a.every)
+	}
+}

@@ -73,6 +73,10 @@ func (c *Cache) Get(key string) (*bitstream.Bitstream, bool) {
 	return c.order[len(c.order)-1].bs, true
 }
 
+// Len returns the number of resident images — the cache-residency gauge
+// the metrics layer samples alongside ResidentBytes.
+func (c *Cache) Len() int { return len(c.order) }
+
 // Contains reports residency without counting a Get or refreshing LRU —
 // the read-only view dispatch policies use.
 func (c *Cache) Contains(key string) bool {

@@ -27,6 +27,11 @@ func (q *Queue) Offer(it *Item) bool {
 // Len returns the number of waiting items.
 func (q *Queue) Len() int { return len(q.items) }
 
+// Cap returns the admission-control depth (≤ 0 = unbounded) — the
+// denominator an observability layer pairs with Len when a shed event
+// asks "was the queue actually full?".
+func (q *Queue) Cap() int { return q.cap }
+
 // Items exposes the waiting items in admission order (callers must not
 // mutate the slice; Remove invalidates it).
 func (q *Queue) Items() []*Item { return q.items }

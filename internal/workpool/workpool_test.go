@@ -32,3 +32,46 @@ func TestRunZeroUnits(t *testing.T) {
 	Run(0, 4, func(int) { t.Error("fn called for n=0") })
 	Run(-1, 4, func(int) { t.Error("fn called for n<0") })
 }
+
+func TestRunCountedTallies(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		const n = 24
+		c := &Counters{}
+		counts := make([]int64, n)
+		RunCounted(n, workers, c, func(i int) { atomic.AddInt64(&counts[i], 1) })
+		for i, got := range counts {
+			if got != 1 {
+				t.Errorf("workers=%d: unit %d ran %d times", workers, i, got)
+			}
+		}
+		snap := c.Snapshot()
+		if len(snap) == 0 || len(snap) > workers {
+			t.Fatalf("workers=%d: snapshot has %d workers", workers, len(snap))
+		}
+		var tasks int64
+		for w, wc := range snap {
+			tasks += wc.Tasks
+			if wc.Tasks > 0 && wc.Busy <= 0 {
+				t.Errorf("workers=%d: worker %d claimed %d tasks with no busy time", workers, w, wc.Tasks)
+			}
+		}
+		if tasks != n {
+			t.Errorf("workers=%d: task tally = %d, want %d", workers, tasks, n)
+		}
+	}
+}
+
+func TestRunCountedNilCountersIsRun(t *testing.T) {
+	const n = 16
+	counts := make([]int64, n)
+	RunCounted(n, 4, nil, func(i int) { atomic.AddInt64(&counts[i], 1) })
+	for i, c := range counts {
+		if c != 1 {
+			t.Errorf("unit %d ran %d times", i, c)
+		}
+	}
+	var c *Counters
+	if snap := c.Snapshot(); snap != nil {
+		t.Errorf("nil counters snapshot = %v", snap)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/platform"
@@ -87,6 +88,7 @@ type campaignConfig struct {
 	planRate        float64
 	planP99MS       float64
 	planShed        float64
+	tracer          *Tracer
 }
 
 // WithCampaignSeed fixes the deterministic seed (default 42, the suite's
@@ -221,6 +223,16 @@ func WithSLO(p99 sim.Duration, maxShed float64) CampaignOption {
 	}
 }
 
+// WithTracer attaches a deterministic tracing/metrics collector to the
+// campaign's fleet scenarios (E13–E16): each shard's fleet records
+// request spans, control-plane events and sim-time gauge series under a
+// schedule-independent key. Tracing never perturbs the reports — they
+// stay byte-identical with or without it — and the tracer's exports are
+// byte-identical at every worker count. See NewTracer.
+func WithTracer(t *Tracer) CampaignOption {
+	return func(c *campaignConfig) { c.tracer = t }
+}
+
 // Campaign runs a set of registered scenarios, sharded across a pool of
 // workers. Every shard is a pure function of the campaign configuration
 // and runs on its own freshly booted System, and shard reports merge by
@@ -251,6 +263,12 @@ type CampaignResult struct {
 	// affect Reports).
 	Workers int
 	Units   int
+	// Pool is the campaign worker pool's wall-clock utilization, one entry
+	// per worker (units claimed, busy time); Elapsed is the whole run's
+	// wall clock. Schedule facts for profiling — like Workers and Units
+	// they never affect Reports or their JSON encoding.
+	Pool    []workpool.WorkerCount
+	Elapsed time.Duration
 
 	// cfg is the resolved experiments configuration, kept so Markdown's
 	// shard column reflects grid/variant overrides.
@@ -303,6 +321,7 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 		PlanRate:        c.cfg.planRate,
 		PlanP99MS:       c.cfg.planP99MS,
 		PlanShed:        c.cfg.planShed,
+		Obs:             c.cfg.tracer,
 	}
 	if err := c.cfg.variant.apply(&ecfg); err != nil {
 		return nil, err
@@ -347,13 +366,16 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	t0 := time.Now()
+	pool := &workpool.Counters{}
 	errs := make([]error, len(units))
-	workpool.Run(len(units), workers, func(i int) {
+	workpool.RunCounted(len(units), workers, pool, func(i int) {
 		u := units[i]
 		if err := runCtx.Err(); err != nil {
 			errs[i] = err
 			return
 		}
+		u0 := time.Now()
 		env, err := experiments.NewEnvWith(scens[u.scen].EnvConfig(ecfg, u.shard))
 		if err != nil {
 			errs[i] = err
@@ -366,6 +388,8 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 			cancel()
 			return
 		}
+		rep.SimEvents += env.Platform.Kernel.Fired()
+		rep.WallMS = float64(time.Since(u0)) / float64(time.Millisecond)
 		parts[u.scen][u.shard] = rep
 	})
 
@@ -398,8 +422,17 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 			if err != nil {
 				return nil, fmt.Errorf("pdr: campaign %s merge: %w", s.ID, err)
 			}
+			// Merge builds a fresh report from the parts' tables; the
+			// profiling tallies fold in here (sim events sum, wall clock
+			// sums the shards' costs even when they overlapped on workers).
+			for _, p := range parts[si] {
+				rep.SimEvents += p.SimEvents
+				rep.WallMS += p.WallMS
+			}
 		}
 		res.Reports = append(res.Reports, rep)
 	}
+	res.Pool = pool.Snapshot()
+	res.Elapsed = time.Since(t0)
 	return res, nil
 }

@@ -3,9 +3,11 @@ package pdr
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
 	"repro/internal/chaos"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -110,6 +112,13 @@ type FleetOptions struct {
 	// sketch's ~1.6 % relative error bound (moments and min/max stay
 	// exact). Default false keeps the exact backend bit for bit.
 	SketchQuantiles bool
+	// Tracer, when non-nil, records each Serve call's request spans,
+	// control-plane events and sim-time metrics under the key
+	// "fleet/NN" (NN = the fleet's Serve ordinal). Tracing never
+	// perturbs a run — FleetStats stay byte-identical with or without
+	// it — and the tracer's exports are byte-identical at every
+	// Workers setting. Nil (the default) costs nothing.
+	Tracer *Tracer
 }
 
 // Fleet is the multi-board counterpart of System: N simulated boards
@@ -120,6 +129,7 @@ type FleetOptions struct {
 type Fleet struct {
 	opts   FleetOptions
 	common []string // the boards' shared RP set, computed at NewFleet
+	serves int32    // Serve ordinal, keys the tracer's per-run fleets
 }
 
 // NewFleet validates the options and returns a fleet handle. Board
@@ -172,7 +182,7 @@ func (f *Fleet) specs() []cluster.BoardSpec {
 }
 
 // build assembles a fresh cluster fleet from the options.
-func (f *Fleet) build() (*cluster.Fleet, error) {
+func (f *Fleet) build(ft *obs.FleetTrace) (*cluster.Fleet, error) {
 	o := f.opts
 	specs := f.specs()
 	seed := o.Seed
@@ -206,6 +216,7 @@ func (f *Fleet) build() (*cluster.Fleet, error) {
 		Autoscaler: o.Autoscale,
 		Chaos:      o.Chaos,
 		Workers:    workers,
+		Trace:      ft,
 		Service: cluster.ServiceTemplate{
 			Policy:           o.Policy,
 			CacheBudgetBytes: budget,
@@ -248,7 +259,17 @@ func (f *Fleet) OpenTraceUntil(spec ArrivalSpec, seed uint64, horizon sim.Durati
 // dispatch policy and bitstream cache), and the merged statistics come
 // back. Repeated calls with the same trace produce byte-identical results.
 func (f *Fleet) Serve(tr Trace) (*FleetStats, error) {
-	cf, err := f.build()
+	var ft *obs.FleetTrace
+	if f.opts.Tracer != nil {
+		router := f.opts.Router
+		if router == "" {
+			router = "round-robin"
+		}
+		n := atomic.AddInt32(&f.serves, 1) - 1
+		ft = f.opts.Tracer.Fleet(fmt.Sprintf("fleet/%02d", n),
+			fmt.Sprintf("%d boards, %s", f.Size(), router))
+	}
+	cf, err := f.build(ft)
 	if err != nil {
 		return nil, err
 	}

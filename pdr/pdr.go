@@ -145,6 +145,7 @@ type System struct {
 	meter    *power.Meter
 	bsCache  map[string]*bitstream.Bitstream
 	sramInit bool
+	serves   int // Serve ordinal, keys ServeOptions.Tracer's fleets
 }
 
 // NewSystem builds and boots a simulated board with the PDR design (the
@@ -362,6 +363,11 @@ type ServeOptions struct {
 	// Prewarm stages the listed ASPs' images for every RP before serving
 	// (steady-state residency). Ignored when the cache is disabled.
 	Prewarm []string
+	// Tracer, when non-nil, records the run's request spans (queue wait,
+	// cache staging, ICAP transfer, compute) and service events under the
+	// key "serve/NN" (NN = this system's Serve ordinal). Tracing never
+	// changes ServiceStats. Nil (the default) costs nothing.
+	Tracer *Tracer
 }
 
 // Serve runs an open-loop request stream through the reconfiguration
@@ -397,6 +403,13 @@ func (s *System) Serve(tr Trace, o ServeOptions) (ServiceStats, error) {
 		StageBytesPerSec: prof.IO.SDBytesPerSec,
 		PrewarmASPs:      o.Prewarm,
 	})
+	if o.Tracer != nil {
+		ft := o.Tracer.Fleet(fmt.Sprintf("serve/%02d", s.serves),
+			fmt.Sprintf("%s, %s", prof.Name, policyName))
+		s.serves++
+		svc.SetTracer(ft.Board(0))
+		ft.Bind(0, prof.Name, svc.RPNames())
+	}
 	return svc.Serve(tr)
 }
 
